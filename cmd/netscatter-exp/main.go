@@ -1,0 +1,66 @@
+// netscatter-exp regenerates the tables and figures of the paper's
+// evaluation section. Each experiment prints the rows/series the paper
+// reports, annotated with the paper's own headline numbers.
+//
+// Usage:
+//
+//	netscatter-exp                 # run everything (full statistics)
+//	netscatter-exp -quick          # reduced trial counts
+//	netscatter-exp -run F17,F18    # selected experiments
+//	netscatter-exp -list           # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"netscatter/internal/exper"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		quick = flag.Bool("quick", false, "reduced trial counts")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exper.All() {
+			fmt.Printf("%-5s %-55s (%s)\n", e.ID, e.Title, e.Ref)
+		}
+		return
+	}
+
+	cfg := exper.Config{Seed: *seed, Quick: *quick}
+	var selected []exper.Experiment
+	if *run == "" {
+		selected = exper.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := exper.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; -list shows IDs\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := false
+	for _, e := range selected {
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		fmt.Println(res.Format())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

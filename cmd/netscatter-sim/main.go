@@ -1,0 +1,79 @@
+// netscatter-sim runs concurrent NetScatter rounds over a simulated
+// office deployment and reports decode statistics and network metrics.
+//
+// Usage:
+//
+//	netscatter-sim -devices 256 -rounds 5
+//	netscatter-sim -devices 64 -sf 8 -bw 250000 -payload 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netscatter"
+)
+
+func main() {
+	var (
+		devices = flag.Int("devices", 64, "number of concurrent devices")
+		rounds  = flag.Int("rounds", 3, "rounds to run")
+		payload = flag.Int("payload", 5, "payload bytes per device")
+		sf      = flag.Int("sf", 9, "spreading factor")
+		bw      = flag.Float64("bw", 500e3, "chirp bandwidth [Hz]")
+		skip    = flag.Int("skip", 2, "minimum cyclic-shift spacing")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		fading  = flag.Bool("fading", false, "enable channel fading")
+	)
+	flag.Parse()
+
+	params := netscatter.Params{SF: *sf, BandwidthHz: *bw, Skip: *skip, Oversample: 1}
+	net, err := netscatter.NewNetwork(params, netscatter.Options{
+		Devices:      *devices,
+		Seed:         *seed,
+		PayloadBytes: *payload,
+		Fading:       *fading,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("NetScatter network: %d devices, %s SF=%d SKIP>=%d\n",
+		*devices, fmtBW(*bw), *sf, *skip)
+	fmt.Printf("per-device bitrate %.0f bps, ideal aggregate %.1f kbps, SNR spread %.1f dB\n\n",
+		params.DeviceBitRate(), net.AggregateThroughput()/1e3, net.SNRSpread())
+
+	totalOK, totalTx := 0, 0
+	for r := 1; r <= *rounds; r++ {
+		payloads := map[int][]byte{}
+		for i := 0; i < *devices; i++ {
+			pl := make([]byte, *payload)
+			for j := range pl {
+				pl[j] = byte(r*31 + i*7 + j)
+			}
+			payloads[i] = pl
+		}
+		round, err := net.Run(payloads)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ok := len(round.Payloads)
+		totalOK += ok
+		totalTx += *devices
+		fmt.Printf("round %d: %3d/%3d frames decoded, %d receiver FFTs, %.1f ms on air, goodput %.1f kbps\n",
+			r, ok, *devices, round.FFTs, round.Duration*1e3,
+			float64(ok**payload*8)/round.Duration/1e3)
+	}
+	fmt.Printf("\ntotal: %d/%d frames (%.1f%%)\n",
+		totalOK, totalTx, 100*float64(totalOK)/float64(totalTx))
+}
+
+func fmtBW(bw float64) string {
+	if bw >= 1e6 {
+		return fmt.Sprintf("%.3g MHz", bw/1e6)
+	}
+	return fmt.Sprintf("%.3g kHz", bw/1e3)
+}

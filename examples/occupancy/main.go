@@ -1,0 +1,85 @@
+// Occupancy: the paper's motivating scenario — a whole office floor of
+// battery-free sensors reporting in. 128 devices spread over 12 rooms
+// report a 5-byte sample (room, temperature, humidity, motion counter)
+// every round; the AP collects all of them concurrently in under 60 ms,
+// where a query-response LoRa backscatter network would need seconds.
+//
+// 128 devices is the paper's interference-free density: they occupy
+// every other slot (effective SKIP 4), so per-frame delivery is near
+// perfect. Filling all 256 slots (SKIP 2) pushes the system to its
+// theoretical limit, where aggregate side-lobe leakage costs a few
+// percent of bits (§4.4: "larger variances in the network data rate").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netscatter"
+)
+
+type sample struct {
+	room     uint8
+	tempC    uint8 // offset-encoded: value - 10
+	humidity uint8
+	motion   uint16
+}
+
+func (s sample) payload() []byte {
+	return []byte{s.room, s.tempC, s.humidity, byte(s.motion >> 8), byte(s.motion)}
+}
+
+func main() {
+	const devices = 128
+	net, err := netscatter.NewNetwork(netscatter.DefaultParams(), netscatter.Options{
+		Devices: devices,
+		Seed:    7,
+		Fading:  true, // people walking around the office
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const rounds = 5
+	received, transmitted := 0, 0
+	var latency float64
+	perRoom := map[uint8]int{}
+
+	for r := 0; r < rounds; r++ {
+		payloads := map[int][]byte{}
+		truth := map[int]sample{}
+		for i := 0; i < devices; i++ {
+			s := sample{
+				room:     uint8(i % 12),
+				tempC:    uint8(12 + (i+r)%10),
+				humidity: uint8(40 + (i*r)%20),
+				motion:   uint16(r*100 + i),
+			}
+			truth[i] = s
+			payloads[i] = s.payload()
+		}
+		round, err := net.Run(payloads)
+		if err != nil {
+			log.Fatal(err)
+		}
+		latency = round.Duration
+		transmitted += devices
+		for i, pl := range round.Payloads {
+			if string(pl) == string(truth[i].payload()) {
+				received++
+				perRoom[truth[i].room]++
+			}
+		}
+	}
+
+	fmt.Printf("collected %d/%d sensor reports over %d rounds (%.1f%%)\n",
+		received, transmitted, rounds, 100*float64(received)/float64(transmitted))
+	fmt.Printf("floor sweep latency: %.1f ms per round (all %d sensors concurrently)\n",
+		latency*1e3, devices)
+	fmt.Printf("a sequential query-response network at 8.7 kbps would need ~%.1f s per sweep\n\n",
+		float64(devices)*0.013)
+	fmt.Println("reports per room:")
+	for room := uint8(0); room < 12; room++ {
+		fmt.Printf("  room %2d: %d\n", room, perRoom[room])
+	}
+}

@@ -1,0 +1,115 @@
+// Package air composes the signal the AP antenna actually receives: the
+// superposition of every concurrent backscatter transmission, each with
+// its own amplitude (link SNR), timing offset (hardware delay + time of
+// flight), frequency offset (crystal + Doppler), random carrier phase
+// and optional fading gain, plus unit-power thermal noise.
+//
+// The simulator works in normalized baseband: noise power is 1, and a
+// transmission arriving with SNR s dB has amplitude sqrt(10^(s/10)).
+package air
+
+import (
+	"math"
+
+	"netscatter/internal/chirp"
+	"netscatter/internal/dsp"
+	"netscatter/internal/radio"
+)
+
+// Transmission describes one device's contribution to a received frame.
+type Transmission struct {
+	// Waveform is the device's ideal transmit waveform (from
+	// core.Encoder or css.Modem).
+	Waveform []complex128
+	// Delayed, if non-nil, synthesizes the waveform with a fractional
+	// sample delay baked in analytically (core.Encoder's
+	// FrameWaveformDelayed). Cyclically shifted chirps are not
+	// bandlimited (the shift wrap is a genuine discontinuity), so
+	// interpolating Waveform cannot represent a sub-sample delay
+	// exactly; analytic synthesis can. When nil, sub-sample delays fall
+	// back to bandlimited interpolation — fine for smooth waveforms
+	// like the ASK downlink.
+	Delayed func(fracSamples float64) []complex128
+	// SNRdB is the received signal-to-noise ratio at the AP over the
+	// receive bandwidth (power versus the unit noise floor).
+	SNRdB float64
+	// DelaySec is the total arrival delay relative to the nominal
+	// frame start: per-packet hardware delay variation plus round-trip
+	// time of flight.
+	DelaySec float64
+	// FreqOffsetHz is the device's oscillator offset (plus Doppler).
+	FreqOffsetHz float64
+	// FadeGain is an optional extra complex channel gain (1 if zero).
+	FadeGain complex128
+	// FixedPhase disables the random carrier phase (for deterministic
+	// spectral tests).
+	FixedPhase bool
+}
+
+// Channel assembles received frames for one chirp parameter set.
+type Channel struct {
+	// Params supplies the sample rate.
+	Params chirp.Params
+	// NoisePower is the thermal noise power (1 for the normalized
+	// simulator; 0 disables noise for deterministic tests).
+	NoisePower float64
+	// Rng drives noise, phases and nothing else.
+	Rng *dsp.Rand
+}
+
+// NewChannel returns a unit-noise channel.
+func NewChannel(p chirp.Params, rng *dsp.Rand) *Channel {
+	return &Channel{Params: p, NoisePower: 1, Rng: rng}
+}
+
+// Receive builds a received stream of length samples from the given
+// transmissions. Each transmission is scaled to its SNR, rotated by its
+// frequency offset, delayed by its arrival offset (integer placement
+// plus a windowed-sinc fractional delay, so timing offsets behave
+// physically for both upchirps and downchirps), given a random carrier
+// phase, and superposed. Thermal noise is added last.
+func (c *Channel) Receive(length int, txs []Transmission) []complex128 {
+	out := make([]complex128, length)
+	fs := c.Params.SampleRate()
+	for _, tx := range txs {
+		delaySamples := tx.DelaySec * fs
+		intDelay := int(math.Floor(delaySamples))
+		fracSamples := delaySamples - float64(intDelay)
+
+		var buf []complex128
+		switch {
+		case tx.Delayed != nil:
+			buf = tx.Delayed(fracSamples)
+		case fracSamples > 1e-9 && len(tx.Waveform) > 0:
+			buf = dsp.FractionalDelay(tx.Waveform, fracSamples)
+		case len(tx.Waveform) > 0:
+			buf = make([]complex128, len(tx.Waveform))
+			copy(buf, tx.Waveform)
+		default:
+			continue
+		}
+		chirp.ApplyFreqOffset(buf, tx.FreqOffsetHz, fs)
+
+		gain := complex(radio.AmplitudeForSNRdB(tx.SNRdB), 0)
+		if tx.FadeGain != 0 {
+			gain *= tx.FadeGain
+		}
+		if !tx.FixedPhase && c.Rng != nil {
+			gain *= c.Rng.UniformPhase()
+		}
+		for i := range buf {
+			buf[i] *= gain
+		}
+		radio.Superpose(out, buf, intDelay)
+	}
+	if c.NoisePower > 0 && c.Rng != nil {
+		radio.AddAWGN(c.Rng, out, c.NoisePower)
+	}
+	return out
+}
+
+// FrameLength returns the sample count of a frame with the given total
+// symbol count, plus margin symbols of tail room for delayed arrivals.
+func (c *Channel) FrameLength(symbols, marginSymbols int) int {
+	return (symbols + marginSymbols) * c.Params.N()
+}

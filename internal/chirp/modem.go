@@ -1,0 +1,208 @@
+package chirp
+
+import (
+	"fmt"
+
+	"netscatter/internal/dsp"
+)
+
+// Modulator synthesizes cyclic-shifted chirp symbols for one parameter
+// set. The baseline upchirp is generated once; each symbol is a cyclic
+// rotation (plus a band frequency offset in aggregate-bandwidth mode).
+type Modulator struct {
+	p  Params
+	up []complex128
+}
+
+// NewModulator builds a modulator for p.
+func NewModulator(p Params) *Modulator {
+	p = p.norm()
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Modulator{p: p, up: Upchirp(p)}
+}
+
+// Params returns the modulator's parameter set.
+func (m *Modulator) Params() Params { return m.p }
+
+// NumShifts returns the number of distinct cyclic shifts (FFT bins)
+// available: Oversample·2^SF.
+func (m *Modulator) NumShifts() int { return m.p.N() }
+
+// Symbol returns a freshly allocated upchirp symbol with the given cyclic
+// shift. At critical sampling (Oversample == 1) shifts are realized as
+// time rotations — what the backscatter chirp generator does in hardware,
+// where the wrapped tail aliases back into the same dechirped bin. In
+// aggregate-bandwidth mode (Oversample > 1) a time rotation would split
+// its energy across bands (the wrap segment aliases at the aggregate band
+// edge, fs = Oversample·BW, not at BW), so the shift is realized as the
+// equivalent initial-frequency offset instead: the chirp sweeping from
+// shift·BW/2^SF, aliasing at the aggregate edge exactly as in Fig. 5.
+// The paper's FPGA chirp generator programs initial frequency directly
+// (§4.1: "generate assigned cyclic shift with required frequency
+// offset"), so this is hardware-faithful too.
+func (m *Modulator) Symbol(shift int) []complex128 {
+	p := m.p
+	shift = dsp.WrapIndex(shift, p.N())
+	if p.Oversample == 1 {
+		return CyclicShift(m.up, shift)
+	}
+	sym := make([]complex128, len(m.up))
+	copy(sym, m.up)
+	ApplyFreqOffset(sym, float64(shift)*p.BinHz(), p.SampleRate())
+	return sym
+}
+
+// DownSymbol returns the downchirp (conjugate) version of Symbol(shift).
+// NetScatter preambles end with two downchirps carrying the same cyclic
+// shift as the device's upchirps (§3.3.1).
+func (m *Modulator) DownSymbol(shift int) []complex128 {
+	sym := m.Symbol(shift)
+	for i, v := range sym {
+		sym[i] = complex(real(v), -imag(v))
+	}
+	return sym
+}
+
+// AppendSymbol appends Symbol(shift) to dst and returns the extended
+// slice.
+func (m *Modulator) AppendSymbol(dst []complex128, shift int) []complex128 {
+	return append(dst, m.Symbol(shift)...)
+}
+
+// AppendSilence appends one symbol period of zeros (an OOK '0').
+func (m *Modulator) AppendSilence(dst []complex128) []complex128 {
+	return append(dst, make([]complex128, m.p.N())...)
+}
+
+// Demodulator de-spreads chirp symbols and locates FFT peaks with
+// zero-padded sub-bin resolution. All scratch buffers are preallocated so
+// the per-symbol hot path does not allocate (the receiver performs this
+// once per symbol regardless of how many devices transmit — the paper's
+// constant-receiver-complexity claim).
+//
+// A Demodulator is not safe for concurrent use; create one per goroutine.
+type Demodulator struct {
+	p       Params
+	zeroPad int
+	down    []complex128
+	up      []complex128
+	padBuf  []complex128
+	power   []float64
+	plan    *dsp.FFTPlan
+}
+
+// NewDemodulator builds a demodulator with the given zero-padding factor
+// (>= 1). The padded FFT has ZeroPad·N bins; Fig. 8 of the paper uses a
+// 10x padding (5120 bins for SF 9).
+func NewDemodulator(p Params, zeroPad int) *Demodulator {
+	p = p.norm()
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if zeroPad < 1 {
+		panic(fmt.Sprintf("chirp: zero-pad factor %d must be >= 1", zeroPad))
+	}
+	padN := dsp.NextPow2(p.N() * zeroPad)
+	zeroPad = padN / p.N()
+	return &Demodulator{
+		p:       p,
+		zeroPad: zeroPad,
+		down:    Downchirp(p),
+		up:      Upchirp(p),
+		padBuf:  make([]complex128, padN),
+		power:   make([]float64, padN),
+		plan:    dsp.Plan(padN),
+	}
+}
+
+// Params returns the demodulator's parameter set.
+func (d *Demodulator) Params() Params { return d.p }
+
+// ZeroPad returns the effective padding factor (rounded up to keep the
+// FFT size a power of two).
+func (d *Demodulator) ZeroPad() int { return d.zeroPad }
+
+// PaddedBins returns the number of bins in the padded spectrum.
+func (d *Demodulator) PaddedBins() int { return len(d.padBuf) }
+
+// Spectrum de-spreads one received symbol (len == N) against the baseline
+// downchirp, zero-pads, and returns the power spectrum. The returned
+// slice aliases an internal buffer valid until the next call.
+func (d *Demodulator) Spectrum(sym []complex128) []float64 {
+	return d.spectrum(sym, d.down)
+}
+
+// SpectrumDown de-spreads against the baseline *upchirp* instead, which
+// turns received downchirps into tones. The packet-start estimator uses
+// this on the two preamble downchirps.
+func (d *Demodulator) SpectrumDown(sym []complex128) []float64 {
+	return d.spectrum(sym, d.up)
+}
+
+func (d *Demodulator) spectrum(sym []complex128, ref []complex128) []float64 {
+	n := d.p.N()
+	if len(sym) != n {
+		panic(fmt.Sprintf("chirp: symbol length %d, want %d", len(sym), n))
+	}
+	for i := 0; i < n; i++ {
+		d.padBuf[i] = sym[i] * ref[i]
+	}
+	for i := n; i < len(d.padBuf); i++ {
+		d.padBuf[i] = 0
+	}
+	d.plan.Forward(d.padBuf)
+	return dsp.PowerSpectrum(d.power, d.padBuf)
+}
+
+// BinOf converts a padded-spectrum index to a (possibly fractional)
+// chirp bin in [0, N).
+func (d *Demodulator) BinOf(paddedIdx int) float64 {
+	return float64(paddedIdx) / float64(d.zeroPad)
+}
+
+// PaddedIndexOf converts an integer chirp bin to the corresponding
+// padded-spectrum index.
+func (d *Demodulator) PaddedIndexOf(bin int) int {
+	return dsp.WrapIndex(bin, d.p.N()) * d.zeroPad
+}
+
+// DemodSymbol locates the strongest peak of one symbol and returns the
+// nearest integer chirp bin along with the peak power. This is the
+// classic single-transmitter LoRa demodulation (§2.1).
+func (d *Demodulator) DemodSymbol(sym []complex128) (bin int, power float64) {
+	spec := d.Spectrum(sym)
+	idx, pw := dsp.ArgmaxFloat(spec)
+	b := int(d.BinOf(idx) + 0.5)
+	return dsp.WrapIndex(b, d.p.N()), pw
+}
+
+// PeakFrac locates the strongest peak with sub-bin resolution: the padded
+// argmax refined by quadratic interpolation. Returns the fractional chirp
+// bin in [0, N) and the peak power.
+func (d *Demodulator) PeakFrac(sym []complex128) (fracBin float64, power float64) {
+	spec := d.Spectrum(sym)
+	idx, pw := dsp.ArgmaxFloat(spec)
+	frac := dsp.QuadraticInterpolate(spec, idx)
+	bins := float64(d.p.N())
+	b := d.BinOf(idx) + frac/float64(d.zeroPad)
+	for b < 0 {
+		b += bins
+	}
+	for b >= bins {
+		b -= bins
+	}
+	return b, pw
+}
+
+// PeakNear returns the maximum power in the padded spectrum within
+// ±halfBins (fractional chirp bins) of the expected integer bin, along
+// with the fractional bin where it occurs. The concurrent decoder calls
+// this once per device per symbol on the shared spectrum.
+func PeakNear(d *Demodulator, spec []float64, bin int, halfBins float64) (power float64, at float64) {
+	center := d.PaddedIndexOf(bin)
+	half := int(halfBins * float64(d.zeroPad))
+	idx, pw := dsp.MaxInWindow(spec, center, half)
+	return pw, d.BinOf(idx)
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"netscatter/internal/chirp"
+	"netscatter/internal/dsp"
+)
+
+// DecoderConfig tunes the concurrent decoder. The zero value is not
+// valid; use DefaultDecoderConfig.
+type DecoderConfig struct {
+	// ZeroPad is the FFT zero-padding factor for sub-bin resolution
+	// (§3.2.3). Fig. 8 of the paper corresponds to 10x; 8 keeps the
+	// padded size a power of two.
+	ZeroPad int
+	// DetectFactor is how far (linear power ratio) a device's mean
+	// preamble peak must sit above the estimated noise-bin power to be
+	// declared present.
+	DetectFactor float64
+	// PresentFactor is the per-symbol bar each preamble symbol must
+	// clear (lower than DetectFactor; non-coherent averaging over the
+	// six upchirps does the heavy lifting).
+	PresentFactor float64
+	// MinPresent is how many of the six preamble upchirps must
+	// individually clear PresentFactor.
+	MinPresent int
+	// GuardBins is the half-width (in FFT bins) of the preamble search
+	// window around a device's assigned bin; it must accommodate the
+	// residual timing/frequency offset, i.e. about SKIP/2.
+	GuardBins float64
+	// TrackBins is the tighter payload search half-width around the
+	// device's preamble-estimated bin.
+	TrackBins float64
+	// OOKFactor is the fraction of a device's mean preamble peak power
+	// used as its ON/OFF decision threshold. The paper uses 1/2
+	// (§3.3.1). At full SKIP=2 density the preamble reference is biased
+	// high — every neighbour is ON during the preamble but only half
+	// the time during the payload, so '1' powers fluctuate below the
+	// preamble mean — and a somewhat lower factor is more robust; the
+	// threshold ablation bench quantifies the trade-off.
+	OOKFactor float64
+	// OOKNoiseGuard lower-bounds the OOK threshold at this multiple of
+	// the per-bin noise power, protecting '0' decisions when a device
+	// operates far below the noise floor (where OOKFactor·meanPeak
+	// approaches the noise level itself).
+	OOKNoiseGuard float64
+	// NoiseFloor, when positive, is the calibrated per-padded-bin noise
+	// power (receivers measure their thermal floor while no tag
+	// transmits — the AP controls the schedule, so quiet intervals are
+	// free). When zero, the decoder falls back to estimating the floor
+	// from the lower quartile of each spectrum, which overestimates
+	// badly at full device density: with 256 concurrent main lobes
+	// there are no noise-only bins left to sample.
+	NoiseFloor float64
+	// GhostFactor rejects side-lobe ghosts: a strong device's Dirichlet
+	// side lobes carry its exact OOK pattern, so an unoccupied candidate
+	// bin can "decode" a CRC-valid replica of that device's frame at
+	// -13.5 dB or below. A detected candidate whose bits are identical
+	// to another detected candidate's and whose mean peak power is more
+	// than GhostFactor times weaker is demoted. Zero disables the check.
+	GhostFactor float64
+}
+
+// DefaultDecoderConfig returns the configuration used for the paper's
+// deployment parameters (SKIP = 2).
+func DefaultDecoderConfig(skip int) DecoderConfig {
+	return DecoderConfig{
+		ZeroPad:       8,
+		DetectFactor:  4,
+		PresentFactor: 1.8,
+		MinPresent:    5,
+		GuardBins:     float64(skip) / 2,
+		TrackBins:     0.3,
+		OOKFactor:     0.35,
+		OOKNoiseGuard: 3.5,
+		GhostFactor:   15, // ~11.8 dB, safely under the -13.5 dB first side lobe
+	}
+}
+
+// DeviceDecode is the decode outcome for one candidate cyclic shift.
+type DeviceDecode struct {
+	// Shift is the candidate cyclic shift (FFT bin) examined.
+	Shift int
+	// Detected reports whether the preamble test found the device.
+	Detected bool
+	// MeanPeakPower is the average FFT peak power over the six
+	// preamble upchirps — the reference for the OOK threshold.
+	MeanPeakPower float64
+	// ObservedBin is the power-weighted fractional bin where the
+	// device's energy actually appeared (assigned bin plus residual
+	// timing/frequency offset).
+	ObservedBin float64
+	// Bits is the demodulated payload section (including CRC bits).
+	Bits []byte
+	// Payload is the CRC-stripped payload; nil when the CRC failed.
+	Payload []byte
+	// CRCOK reports whether the frame check sequence matched.
+	CRCOK bool
+}
+
+// FrameDecode is the result of decoding one concurrent frame.
+type FrameDecode struct {
+	// Start is the sample index the frame was decoded at.
+	Start int
+	// NoiseBinPower is the estimated per-bin noise power used for
+	// detection thresholds.
+	NoiseBinPower float64
+	// Devices holds one entry per candidate shift, in input order.
+	Devices []DeviceDecode
+	// FFTs is the number of FFT operations performed — independent of
+	// the number of candidate devices (the paper's receiver-complexity
+	// claim, §3.1).
+	FFTs int
+}
+
+// DetectedCount returns how many candidates were detected.
+func (f *FrameDecode) DetectedCount() int {
+	n := 0
+	for _, d := range f.Devices {
+		if d.Detected {
+			n++
+		}
+	}
+	return n
+}
+
+// Decoder decodes concurrent NetScatter transmissions. One dechirp and
+// one (zero-padded) FFT are performed per symbol; every candidate device
+// is then read off the shared spectrum. Not safe for concurrent use.
+type Decoder struct {
+	book *CodeBook
+	dem  *chirp.Demodulator
+	cfg  DecoderConfig
+
+	// per-candidate accumulators, reused across calls
+	minPower []float64
+	sumPower []float64
+	sumWBin  []float64
+	present  []int
+	quantBuf []float64
+	// preSpec caches the six preamble spectra so detection thresholds
+	// (which need the noise estimate from all six) are applied without
+	// recomputing FFTs.
+	preSpec [PreambleUpSymbols][]float64
+}
+
+// NewDecoder builds a decoder over a code book.
+func NewDecoder(book *CodeBook, cfg DecoderConfig) *Decoder {
+	if cfg.ZeroPad < 1 {
+		panic("core: DecoderConfig.ZeroPad must be >= 1")
+	}
+	return &Decoder{
+		book: book,
+		dem:  chirp.NewDemodulator(book.Params(), cfg.ZeroPad),
+		cfg:  cfg,
+	}
+}
+
+// Book returns the decoder's code book.
+func (d *Decoder) Book() *CodeBook { return d.book }
+
+// Demodulator exposes the underlying demodulator (for experiments that
+// inspect raw spectra).
+func (d *Decoder) Demodulator() *chirp.Demodulator { return d.dem }
+
+// DecodeFrame decodes a frame of payloadBits OOK symbols starting at
+// sample index start for the given candidate shifts. The signal must
+// contain the full frame (PreambleSymbols + payloadBits symbols).
+func (d *Decoder) DecodeFrame(sig []complex128, start int, shifts []int, payloadBits int) (*FrameDecode, error) {
+	p := d.book.Params()
+	n := p.N()
+	total := (PreambleSymbols + payloadBits) * n
+	if start < 0 || start+total > len(sig) {
+		return nil, fmt.Errorf("core: frame [%d, %d) outside signal of %d samples", start, start+total, len(sig))
+	}
+	res := &FrameDecode{Start: start}
+	res.Devices = make([]DeviceDecode, len(shifts))
+	for i, s := range shifts {
+		res.Devices[i] = DeviceDecode{Shift: s}
+	}
+	d.grow(len(shifts))
+
+	// Pass 1: preamble upchirps. One spectrum per symbol; accumulate
+	// per-candidate peak statistics.
+	for i := range shifts {
+		d.minPower[i] = math.Inf(1)
+		d.sumPower[i] = 0
+		d.sumWBin[i] = 0
+		d.present[i] = 0
+	}
+	var noiseEst float64
+	for sym := 0; sym < PreambleUpSymbols; sym++ {
+		win := sig[start+sym*n : start+(sym+1)*n]
+		spec := d.dem.Spectrum(win)
+		res.FFTs++
+		if cap(d.preSpec[sym]) < len(spec) {
+			d.preSpec[sym] = make([]float64, len(spec))
+		}
+		d.preSpec[sym] = d.preSpec[sym][:len(spec)]
+		copy(d.preSpec[sym], spec)
+		if d.cfg.NoiseFloor > 0 {
+			noiseEst += d.cfg.NoiseFloor
+		} else {
+			noiseEst += d.estimateNoiseBin(spec)
+		}
+		for i, s := range shifts {
+			pw, at := chirp.PeakNear(d.dem, spec, s, d.cfg.GuardBins)
+			if pw < d.minPower[i] {
+				d.minPower[i] = pw
+			}
+			d.sumPower[i] += pw
+			// Accumulate the peak location weighted by power, unwrapped
+			// around the assigned bin so averaging works across the
+			// circular boundary.
+			rel := dsp.WrapFrac(at-float64(s), p.N())
+			d.sumWBin[i] += pw * rel
+		}
+	}
+	noiseEst /= PreambleUpSymbols
+	res.NoiseBinPower = noiseEst
+
+	// Per-symbol presence bar against the cached preamble spectra.
+	for sym := 0; sym < PreambleUpSymbols; sym++ {
+		spec := d.preSpec[sym]
+		for i, s := range shifts {
+			pw, _ := chirp.PeakNear(d.dem, spec, s, d.cfg.GuardBins)
+			if pw > d.cfg.PresentFactor*noiseEst {
+				d.present[i]++
+			}
+		}
+	}
+
+	for i := range shifts {
+		dev := &res.Devices[i]
+		dev.MeanPeakPower = d.sumPower[i] / PreambleUpSymbols
+		rel := 0.0
+		if d.sumPower[i] > 0 {
+			rel = d.sumWBin[i] / d.sumPower[i]
+		}
+		dev.ObservedBin = float64(dev.Shift) + rel
+		dev.Detected = dev.MeanPeakPower > d.cfg.DetectFactor*noiseEst &&
+			d.present[i] >= d.cfg.MinPresent
+	}
+
+	// Pass 2: payload symbols. The two preamble downchirps are skipped —
+	// they exist for packet-start estimation (sync.go). Peak powers are
+	// collected first; thresholds are applied per device afterwards.
+	payloadStart := start + PreambleSymbols*n
+	powers := make([][]float64, len(shifts))
+	for i := range shifts {
+		if res.Devices[i].Detected {
+			res.Devices[i].Bits = make([]byte, payloadBits)
+			powers[i] = make([]float64, payloadBits)
+		}
+	}
+	for sym := 0; sym < payloadBits; sym++ {
+		win := sig[payloadStart+sym*n : payloadStart+(sym+1)*n]
+		spec := d.dem.Spectrum(win)
+		res.FFTs++
+		for i := range shifts {
+			dev := &res.Devices[i]
+			if !dev.Detected {
+				continue
+			}
+			powers[i][sym] = d.peakNearFrac(spec, dev.ObservedBin, d.cfg.TrackBins)
+		}
+	}
+
+	for i := range shifts {
+		dev := &res.Devices[i]
+		if !dev.Detected {
+			continue
+		}
+		thr := dev.MeanPeakPower * d.cfg.OOKFactor
+		if guard := d.cfg.OOKNoiseGuard * noiseEst; thr < guard {
+			thr = guard
+		}
+		for sym, pw := range powers[i] {
+			if pw > thr {
+				dev.Bits[sym] = 1
+			}
+		}
+		if payload, ok := CheckFrameBits(dev.Bits); ok {
+			dev.Payload = payload
+			dev.CRCOK = true
+		}
+	}
+	d.rejectGhosts(res.Devices)
+	return res, nil
+}
+
+// rejectGhosts demotes side-lobe replicas: detected candidates whose
+// demodulated bits exactly match a far stronger detected candidate's.
+func (d *Decoder) rejectGhosts(devs []DeviceDecode) {
+	if d.cfg.GhostFactor <= 0 {
+		return
+	}
+	for i := range devs {
+		weak := &devs[i]
+		if !weak.Detected || len(weak.Bits) == 0 {
+			continue
+		}
+		for j := range devs {
+			if i == j {
+				continue
+			}
+			strong := &devs[j]
+			if !strong.Detected || len(strong.Bits) != len(weak.Bits) {
+				continue
+			}
+			if strong.MeanPeakPower < d.cfg.GhostFactor*weak.MeanPeakPower {
+				continue
+			}
+			same := true
+			for k := range weak.Bits {
+				if weak.Bits[k] != strong.Bits[k] {
+					same = false
+					break
+				}
+			}
+			if same {
+				weak.Detected = false
+				weak.CRCOK = false
+				weak.Payload = nil
+				break
+			}
+		}
+	}
+}
+
+// peakNearFrac returns the max power within ±half bins of a fractional
+// bin center.
+func (d *Decoder) peakNearFrac(spec []float64, centerBin, half float64) float64 {
+	zp := d.dem.ZeroPad()
+	center := int(math.Round(centerBin * float64(zp)))
+	halfIdx := int(half * float64(zp))
+	_, pw := dsp.MaxInWindow(spec, dsp.WrapIndex(center, len(spec)), halfIdx)
+	return pw
+}
+
+// estimateNoiseBin estimates the mean noise power per padded FFT bin
+// from the lower quartile of the spectrum. For complex Gaussian noise,
+// bin powers are exponential with mean m and 25th percentile
+// m·ln(4/3) ≈ 0.2877·m; the lower quartile is robust against the
+// minority of bins occupied by device peaks and side lobes.
+func (d *Decoder) estimateNoiseBin(spec []float64) float64 {
+	if cap(d.quantBuf) < len(spec) {
+		d.quantBuf = make([]float64, len(spec))
+	}
+	buf := d.quantBuf[:len(spec)]
+	copy(buf, spec)
+	sort.Float64s(buf)
+	q25 := buf[len(buf)/4]
+	return q25 / 0.28768 // ln(4/3)
+}
+
+func (d *Decoder) grow(n int) {
+	if cap(d.minPower) < n {
+		d.minPower = make([]float64, n)
+		d.sumPower = make([]float64, n)
+		d.sumWBin = make([]float64, n)
+		d.present = make([]int, n)
+	}
+	d.minPower = d.minPower[:n]
+	d.sumPower = d.sumPower[:n]
+	d.sumWBin = d.sumWBin[:n]
+	d.present = d.present[:n]
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"netscatter/internal/chirp"
+)
+
+// Encoder produces a single device's transmit waveform: preamble chirps
+// and ON-OFF keyed payload chirps, all using the device's assigned
+// cyclic shift. In hardware this is the FPGA chirp generator (§4.1);
+// here it synthesizes baseband samples for the channel simulator.
+type Encoder struct {
+	mod   *chirp.Modulator
+	shift int
+}
+
+// NewEncoder builds an encoder for one device.
+func NewEncoder(p chirp.Params, shift int) *Encoder {
+	return &Encoder{mod: chirp.NewModulator(p), shift: shift}
+}
+
+// Shift returns the device's assigned cyclic shift.
+func (e *Encoder) Shift() int { return e.shift }
+
+// SetShift reassigns the device's cyclic shift (the AP can reshuffle
+// assignments in its query, §3.3.3).
+func (e *Encoder) SetShift(shift int) { e.shift = shift }
+
+// Params returns the chirp parameters.
+func (e *Encoder) Params() chirp.Params { return e.mod.Params() }
+
+// AppendFrame appends the full frame waveform for payload to dst:
+// 6 shifted upchirps, 2 shifted downchirps, then one shifted upchirp per
+// '1' bit and one symbol of silence per '0' bit of FrameBits(payload).
+func (e *Encoder) AppendFrame(dst []complex128, payload []byte) []complex128 {
+	return e.AppendFrameBits(dst, FrameBits(payload))
+}
+
+// AppendFrameBits is AppendFrame for a caller-supplied bit section
+// (already including any checksum).
+func (e *Encoder) AppendFrameBits(dst []complex128, bits []byte) []complex128 {
+	for i := 0; i < PreambleUpSymbols; i++ {
+		dst = e.mod.AppendSymbol(dst, e.shift)
+	}
+	for i := 0; i < PreambleDownSymbols; i++ {
+		dst = append(dst, e.mod.DownSymbol(e.shift)...)
+	}
+	for _, b := range bits {
+		if b != 0 {
+			dst = e.mod.AppendSymbol(dst, e.shift)
+		} else {
+			dst = e.mod.AppendSilence(dst)
+		}
+	}
+	return dst
+}
+
+// FrameWaveform returns AppendFrame into a fresh slice.
+func (e *Encoder) FrameWaveform(payload []byte) []complex128 {
+	n := e.Params().N()
+	dst := make([]complex128, 0, n*FrameSymbols(len(payload)))
+	return e.AppendFrame(dst, payload)
+}
+
+// FrameWaveformDelayed synthesizes the frame waveform delayed by frac
+// samples (0 <= frac < 1), evaluating each symbol's chirp phase at the
+// shifted time coordinates. This is the exact waveform a tag starting
+// frac samples late contributes to the AP's sample grid: sample j holds
+// frame((j - frac)), with samples near symbol boundaries correctly
+// falling into the previous symbol's tail. Integer delays are applied by
+// placement (air.Channel); together they realize arbitrary real-valued
+// hardware delays with exact chirp physics.
+func (e *Encoder) FrameWaveformDelayed(payload []byte, frac float64) []complex128 {
+	return e.FrameBitsWaveformDelayed(FrameBits(payload), frac)
+}
+
+// FrameBitsWaveformDelayed is FrameWaveformDelayed for a caller-supplied
+// bit section (already including any checksum).
+func (e *Encoder) FrameBitsWaveformDelayed(bits []byte, frac float64) []complex128 {
+	if frac == 0 {
+		return e.AppendFrameBits(nil, bits)
+	}
+	p := e.Params()
+	n := p.N()
+	totalSyms := PreambleSymbols + len(bits)
+	out := make([]complex128, totalSyms*n+1)
+	for j := range out {
+		u := float64(j) - frac
+		if u < 0 {
+			continue
+		}
+		k := int(u) / n
+		if k >= totalSyms {
+			break
+		}
+		x := u - float64(k*n)
+		switch {
+		case k < PreambleUpSymbols:
+			out[j] = chirp.EvalShifted(p, e.shift, x)
+		case k < PreambleSymbols:
+			v := chirp.EvalShifted(p, e.shift, x)
+			out[j] = complex(real(v), -imag(v))
+		default:
+			if bits[k-PreambleSymbols] != 0 {
+				out[j] = chirp.EvalShifted(p, e.shift, x)
+			}
+		}
+	}
+	return out
+}
+
+// OnFraction returns the fraction of payload symbols that carry energy
+// for the given bits — used by energy accounting in the simulator.
+func OnFraction(bits []byte) float64 {
+	if len(bits) == 0 {
+		return 0
+	}
+	on := 0
+	for _, b := range bits {
+		if b != 0 {
+			on++
+		}
+	}
+	return float64(on) / float64(len(bits))
+}
+
+// ValidateShiftForBook checks that a shift is assignable in the given
+// code book; used when programming devices.
+func ValidateShiftForBook(book *CodeBook, shift int) error {
+	if _, ok := book.SlotOfShift(shift); !ok {
+		return fmt.Errorf("core: shift %d is not a SKIP-%d slot", shift, book.Skip())
+	}
+	return nil
+}

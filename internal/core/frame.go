@@ -1,0 +1,96 @@
+package core
+
+// Link-layer frame structure (§3.3.1): every device's packet is
+//
+//	6 upchirps + 2 downchirps (preamble, all with the device's assigned
+//	cyclic shift) followed by the ON-OFF keyed payload and a CRC-8.
+//
+// All concurrent devices send their preambles at the same time, so the
+// preamble overhead is paid once per round rather than once per device —
+// the main source of NetScatter's link-layer gain (Fig. 18).
+
+const (
+	// PreambleUpSymbols is the number of leading upchirps.
+	PreambleUpSymbols = 6
+	// PreambleDownSymbols is the number of trailing downchirps used to
+	// locate the exact packet start (§3.3.1).
+	PreambleDownSymbols = 2
+	// PreambleSymbols is the total preamble length in symbols.
+	PreambleSymbols = PreambleUpSymbols + PreambleDownSymbols
+	// CRCBits is the length of the frame check sequence.
+	CRCBits = 8
+)
+
+// crc8 computes the CRC-8/ATM (poly 0x07) checksum over data bits
+// (one bit per byte). Operating on bits keeps the frame layout explicit;
+// payloads are small (tens of bits) so performance is irrelevant.
+func crc8(bits []byte) byte {
+	var crc byte
+	for _, b := range bits {
+		crc ^= (b & 1) << 7
+		if crc&0x80 != 0 {
+			crc = crc<<1 ^ 0x07
+		} else {
+			crc <<= 1
+		}
+	}
+	return crc
+}
+
+// BytesToBits expands data into MSB-first bits, one per output byte.
+func BytesToBits(data []byte) []byte {
+	out := make([]byte, 0, len(data)*8)
+	for _, d := range data {
+		for i := 7; i >= 0; i-- {
+			out = append(out, (d>>uint(i))&1)
+		}
+	}
+	return out
+}
+
+// BitsToBytes packs MSB-first bits back into bytes; the bit count must
+// be a multiple of 8.
+func BitsToBytes(bits []byte) []byte {
+	out := make([]byte, len(bits)/8)
+	for i := range out {
+		var v byte
+		for j := 0; j < 8; j++ {
+			v = v<<1 | (bits[i*8+j] & 1)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// FrameBits returns the on-air payload section for a data payload:
+// the payload bits followed by their CRC-8. Each bit occupies one chirp
+// symbol (ON-OFF keying).
+func FrameBits(payload []byte) []byte {
+	bits := BytesToBits(payload)
+	crc := crc8(bits)
+	for i := 7; i >= 0; i-- {
+		bits = append(bits, (crc>>uint(i))&1)
+	}
+	return bits
+}
+
+// CheckFrameBits verifies and strips the CRC from a received payload
+// section. It returns the payload bytes and whether the CRC matched.
+// The bit count must be 8·k + CRCBits.
+func CheckFrameBits(bits []byte) (payload []byte, ok bool) {
+	if len(bits) < CRCBits || (len(bits)-CRCBits)%8 != 0 {
+		return nil, false
+	}
+	data := bits[:len(bits)-CRCBits]
+	var rx byte
+	for _, b := range bits[len(bits)-CRCBits:] {
+		rx = rx<<1 | (b & 1)
+	}
+	return BitsToBytes(data), crc8(data) == rx
+}
+
+// FrameSymbols returns the total number of chirp-symbol periods a frame
+// with payloadBytes of data occupies, including preamble and CRC.
+func FrameSymbols(payloadBytes int) int {
+	return PreambleSymbols + payloadBytes*8 + CRCBits
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+
+	"netscatter/internal/dsp"
+)
+
+// Packet start estimation (§3.3.1). The preamble carries six upchirps
+// followed by two downchirps, all with the device's assigned cyclic
+// shift. Dechirping an *upchirp* window with the baseline downchirp
+// yields a tone at bin (c - δ + f) while dechirping a *downchirp* window
+// with the baseline upchirp yields a tone at (-(c - δ) + f), where c is
+// the cyclic shift, δ the timing offset in samples and f the frequency
+// offset in bins. Their sum isolates 2f and their difference isolates
+// 2(c-δ) — the "middle point between an upchirp and downchirp" trick the
+// paper describes (it conjectures LoRa's preamble downchirps exist for
+// the same reason).
+
+// EstimateStart locates the frame start near a nominal sample index.
+// Two stages:
+//
+//  1. A coarse power search (steps of N/8 over ±radius) maximizing the
+//     summed dechirped peak power over the preamble windows, which lands
+//     within a fraction of a symbol. Power alone cannot resolve finer
+//     alignment — the six preamble upchirps are identical, so any window
+//     inside the repeated region yields equally sharp peaks.
+//  2. The paper's midpoint refinement (§3.3.1): the strongest device's
+//     upchirp peak sits at (c - δ + f) and its downchirp peak at
+//     (-(c - δ) + f); half their difference gives c - δ, and matching c
+//     against the known candidate shifts recovers the residual timing
+//     error δ exactly. The N/2 halving ambiguity is harmless for timing:
+//     if it matches a different device's shift c' = c + N/2, the implied
+//     δ is identical.
+//
+// shifts is the set of cyclic shifts that may be transmitting (the AP
+// always knows this — it assigned them).
+func (d *Decoder) EstimateStart(sig []complex128, nominal, radius int, shifts []int) int {
+	n := d.book.Params().N()
+	coarse := nominal
+	if radius > 0 {
+		step := n / 8
+		if step < 1 {
+			step = 1
+		}
+		bestQ := math.Inf(-1)
+		for off := nominal - radius; off <= nominal+radius; off += step {
+			if q := d.alignQuality(sig, off); q > bestQ {
+				bestQ, coarse = q, off
+			}
+		}
+	}
+	if len(shifts) == 0 {
+		return coarse
+	}
+	if coarse < 0 || coarse+PreambleSymbols*n > len(sig) {
+		return coarse
+	}
+	delta, ok := d.midpointDelta(sig, coarse, shifts)
+	if !ok {
+		return coarse
+	}
+	return coarse + int(math.Round(delta))
+}
+
+// midpointDelta estimates the residual timing error δ of a coarse frame
+// alignment by template correlation against the assigned shifts. The
+// upchirp spectra carry a peak at (c - δ + f) for every transmitting
+// shift c, so the correlation
+//
+//	corrU(ℓ) = Σ_syms Σ_c Spec[c + ℓ]
+//
+// is maximized at the common lag ℓu = -δ + f, with every device voting
+// coherently. The downchirp spectra carry peaks at (-c + δ + f), giving
+// a correlation maximized at ℓd = +δ + f. Then δ = (ℓd - ℓu)/2. This is
+// robust at any device density: unlike per-device peak windows, a
+// neighbour's peak is just another template spike contributing to the
+// same lag.
+func (d *Decoder) midpointDelta(sig []complex128, start int, shifts []int) (float64, bool) {
+	p := d.book.Params()
+	n := p.N()
+	zp := d.dem.ZeroPad()
+	m := d.dem.PaddedBins()
+	maxLag := (n/8 + 2) * zp // covers the coarse search step
+
+	corrU := make([]float64, 2*maxLag+1)
+	corrD := make([]float64, 2*maxLag+1)
+
+	for sym := 0; sym < PreambleUpSymbols; sym++ {
+		spec := d.dem.Spectrum(sig[start+sym*n : start+(sym+1)*n])
+		for _, c := range shifts {
+			base := dsp.WrapIndex(c*zp, m)
+			for l := -maxLag; l <= maxLag; l++ {
+				corrU[l+maxLag] += spec[dsp.WrapIndex(base+l, m)]
+			}
+		}
+	}
+	for sym := PreambleUpSymbols; sym < PreambleSymbols; sym++ {
+		spec := d.dem.SpectrumDown(sig[start+sym*n : start+(sym+1)*n])
+		for _, c := range shifts {
+			base := dsp.WrapIndex(-c*zp, m)
+			for l := -maxLag; l <= maxLag; l++ {
+				corrD[l+maxLag] += spec[dsp.WrapIndex(base+l, m)]
+			}
+		}
+	}
+
+	iu, pu := dsp.ArgmaxFloat(corrU)
+	id, pd := dsp.ArgmaxFloat(corrD)
+	if pu <= 0 || pd <= 0 {
+		return 0, false
+	}
+	lu := float64(iu-maxLag) / float64(zp) // -δ + f in bins
+	ld := float64(id-maxLag) / float64(zp) // +δ + f in bins
+	return (ld - lu) / 2, true
+}
+
+// alignQuality scores a candidate frame start; higher is better.
+func (d *Decoder) alignQuality(sig []complex128, start int) float64 {
+	n := d.book.Params().N()
+	if start < 0 || start+PreambleSymbols*n > len(sig) {
+		return math.Inf(-1)
+	}
+	var q float64
+	for sym := 0; sym < PreambleUpSymbols; sym++ {
+		spec := d.dem.Spectrum(sig[start+sym*n : start+(sym+1)*n])
+		_, pw := dsp.ArgmaxFloat(spec)
+		q += pw
+	}
+	for sym := PreambleUpSymbols; sym < PreambleSymbols; sym++ {
+		spec := d.dem.SpectrumDown(sig[start+sym*n : start+(sym+1)*n])
+		_, pw := dsp.ArgmaxFloat(spec)
+		q += pw
+	}
+	return q
+}
+
+// MidpointOffsets resolves a device's residual timing and frequency
+// offsets from its preamble peak positions: upBin is the fractional bin
+// observed in the upchirp section, downBin in the downchirp section
+// (both despread as in EstimateStart), and expectedShift is the device's
+// assigned cyclic shift. It returns the timing offset in samples (δ,
+// positive = late) and the frequency offset in bins.
+//
+// The mod-N/2 ambiguity of halving circular quantities is resolved by
+// picking the frequency candidate with the smaller magnitude and the
+// shift candidate closest to the assigned shift — valid because
+// NetScatter's residual offsets are well under N/4 bins (§3.2).
+func MidpointOffsets(upBin, downBin float64, expectedShift, n int) (timingSamples, freqBins float64) {
+	half := float64(n) / 2
+
+	// f = (upBin + downBin)/2 (mod N/2 ambiguity).
+	s := (upBin + downBin) / 2
+	f1 := dsp.WrapFrac(s, n)
+	f2 := dsp.WrapFrac(s+half, n)
+	freqBins = f1
+	if math.Abs(f2) < math.Abs(f1) {
+		freqBins = f2
+	}
+
+	// c - δ = (upBin - downBin)/2 (mod N/2 ambiguity).
+	diff := (upBin - downBin) / 2
+	c1 := dsp.WrapFrac(diff-float64(expectedShift), n)
+	c2 := dsp.WrapFrac(diff+half-float64(expectedShift), n)
+	rel := c1
+	if math.Abs(c2) < math.Abs(c1) {
+		rel = c2
+	}
+	// rel = (c - δ) - c = -δ.
+	timingSamples = -rel
+	return timingSamples, freqBins
+}
+
+// PreamblePeaks measures the dominant fractional peak bins in the
+// upchirp and downchirp sections of a frame whose start is known —
+// inputs for MidpointOffsets. It averages the three cleanest symbols of
+// each section for noise robustness.
+func (d *Decoder) PreamblePeaks(sig []complex128, start int) (upBin, downBin float64) {
+	n := d.book.Params().N()
+	var upSum, upW float64
+	for sym := 0; sym < PreambleUpSymbols; sym++ {
+		spec := d.dem.Spectrum(sig[start+sym*n : start+(sym+1)*n])
+		idx, pw := dsp.ArgmaxFloat(spec)
+		b := d.dem.BinOf(idx)
+		if upW == 0 {
+			upSum, upW = b*pw, pw
+			continue
+		}
+		// Average around the first estimate, unwrapping the circle.
+		ref := upSum / upW
+		b = ref + dsp.WrapFrac(b-ref, n)
+		upSum += b * pw
+		upW += pw
+	}
+	var downSum, downW float64
+	for sym := PreambleUpSymbols; sym < PreambleSymbols; sym++ {
+		spec := d.dem.SpectrumDown(sig[start+sym*n : start+(sym+1)*n])
+		idx, pw := dsp.ArgmaxFloat(spec)
+		b := d.dem.BinOf(idx)
+		if downW == 0 {
+			downSum, downW = b*pw, pw
+			continue
+		}
+		ref := downSum / downW
+		b = ref + dsp.WrapFrac(b-ref, n)
+		downSum += b * pw
+		downW += pw
+	}
+	u := 0.0
+	if upW > 0 {
+		u = upSum / upW
+	}
+	dn := 0.0
+	if downW > 0 {
+		dn = downSum / downW
+	}
+	return dsp.WrapFrac(u, n) + 0, dsp.WrapFrac(dn, n) + 0
+}

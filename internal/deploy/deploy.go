@@ -1,0 +1,129 @@
+// Package deploy generates the office-floor testbed geometry the paper
+// evaluates on (Fig. 1): 256 backscatter devices spread across a floor
+// with more than ten rooms, an AP near the center, and per-device link
+// budgets derived from distance and intervening walls. The output is
+// the per-device SNR distribution that drives the near-far machinery
+// and the rate-adaptation baselines.
+package deploy
+
+import (
+	"math"
+
+	"netscatter/internal/dsp"
+	"netscatter/internal/radio"
+)
+
+// Point is a floor-plan coordinate in meters.
+type Point struct{ X, Y float64 }
+
+// Distance returns the Euclidean distance to q.
+func (p Point) Distance(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// FloorPlan is a rectangular office floor partitioned into a grid of
+// rooms by interior walls.
+type FloorPlan struct {
+	// Width and Height of the floor in meters.
+	Width, Height float64
+	// RoomsX and RoomsY give the room grid (RoomsX·RoomsY rooms).
+	RoomsX, RoomsY int
+	// AP is the access point position.
+	AP Point
+}
+
+// DefaultOffice is a 40x20 m floor with a 6x2 room grid (12 rooms,
+// matching the paper's "more than ten rooms") and the AP at the center.
+var DefaultOffice = FloorPlan{
+	Width:  40,
+	Height: 20,
+	RoomsX: 6,
+	RoomsY: 2,
+	AP:     Point{X: 20, Y: 10},
+}
+
+// Rooms returns the number of rooms.
+func (f FloorPlan) Rooms() int { return f.RoomsX * f.RoomsY }
+
+// WallsBetween counts interior walls crossed by the straight segment
+// from a to b: the number of room-grid lines the segment crosses.
+func (f FloorPlan) WallsBetween(a, b Point) int {
+	walls := 0
+	// Vertical grid lines at k·Width/RoomsX.
+	for k := 1; k < f.RoomsX; k++ {
+		x := float64(k) * f.Width / float64(f.RoomsX)
+		if (a.X-x)*(b.X-x) < 0 {
+			walls++
+		}
+	}
+	for k := 1; k < f.RoomsY; k++ {
+		y := float64(k) * f.Height / float64(f.RoomsY)
+		if (a.Y-y)*(b.Y-y) < 0 {
+			walls++
+		}
+	}
+	return walls
+}
+
+// Device is one placed backscatter tag.
+type Device struct {
+	Pos   Point
+	Walls int // interior walls to the AP
+	// DownlinkRSSIdBm is the AP query strength at the tag.
+	DownlinkRSSIdBm float64
+	// UplinkSNRdB is the backscatter SNR at the AP over the receive
+	// bandwidth at maximum tag power gain (0 dB).
+	UplinkSNRdB float64
+}
+
+// Deployment is a generated testbed.
+type Deployment struct {
+	Plan    FloorPlan
+	Budget  radio.LinkBudget
+	Devices []Device
+}
+
+// MinAPDistance keeps devices out of the AP's immediate vicinity. The
+// paper's mono-static reader uses co-located TX/RX antennas 3 ft apart
+// at 30 dBm; tags closer than a few meters would saturate the front end
+// even with AGC.
+const MinAPDistance = 5.0
+
+// Generate places n devices uniformly over the floor (at least
+// MinAPDistance from the AP) and computes their link budgets over bwHz.
+func Generate(plan FloorPlan, budget radio.LinkBudget, n int, bwHz float64, rng *dsp.Rand) *Deployment {
+	d := &Deployment{Plan: plan, Budget: budget}
+	d.Devices = make([]Device, 0, n)
+	for len(d.Devices) < n {
+		p := Point{X: rng.Uniform(0.5, plan.Width-0.5), Y: rng.Uniform(0.5, plan.Height-0.5)}
+		dist := p.Distance(plan.AP)
+		if dist < MinAPDistance {
+			continue
+		}
+		walls := plan.WallsBetween(p, plan.AP)
+		d.Devices = append(d.Devices, Device{
+			Pos:             p,
+			Walls:           walls,
+			DownlinkRSSIdBm: budget.DownlinkRSSIdBm(dist, walls),
+			UplinkSNRdB:     budget.UplinkSNRdB(dist, walls, 0, bwHz),
+		})
+	}
+	return d
+}
+
+// SNRs returns the uplink SNRs of all devices.
+func (d *Deployment) SNRs() []float64 {
+	out := make([]float64, len(d.Devices))
+	for i, dev := range d.Devices {
+		out[i] = dev.UplinkSNRdB
+	}
+	return out
+}
+
+// SNRSpreadDB returns the max-min uplink SNR spread, the quantity the
+// power-aware allocation and power adaptation must absorb (up to ~35 dB
+// per §4.3).
+func (d *Deployment) SNRSpreadDB() float64 {
+	min, max := dsp.MinMax(d.SNRs())
+	return max - min
+}

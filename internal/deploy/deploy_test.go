@@ -1,0 +1,103 @@
+package deploy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"netscatter/internal/dsp"
+	"netscatter/internal/radio"
+)
+
+func TestWallsBetween(t *testing.T) {
+	f := DefaultOffice
+	// Same room: no walls.
+	if got := f.WallsBetween(Point{1, 1}, Point{2, 2}); got != 0 {
+		t.Fatalf("same-room walls = %d", got)
+	}
+	// Crossing one vertical grid line.
+	a, b := Point{5, 5}, Point{8, 5} // rooms are 40/6=6.67 m wide
+	if got := f.WallsBetween(a, b); got != 1 {
+		t.Fatalf("adjacent-room walls = %d", got)
+	}
+	// Corner to corner crosses most of the grid.
+	if got := f.WallsBetween(Point{1, 1}, Point{39, 19}); got < 5 {
+		t.Fatalf("diagonal walls = %d", got)
+	}
+}
+
+func TestWallsSymmetric(t *testing.T) {
+	f := DefaultOffice
+	g := func(ax, ay, bx, by float64) bool {
+		a := Point{math.Mod(math.Abs(ax), f.Width), math.Mod(math.Abs(ay), f.Height)}
+		b := Point{math.Mod(math.Abs(bx), f.Width), math.Mod(math.Abs(by), f.Height)}
+		return f.WallsBetween(a, b) == f.WallsBetween(b, a)
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeployment(t *testing.T) {
+	rng := dsp.NewRand(1)
+	dep := Generate(DefaultOffice, radio.DefaultLinkBudget, 256, 500e3, rng)
+	if len(dep.Devices) != 256 {
+		t.Fatalf("devices = %d", len(dep.Devices))
+	}
+	for i, d := range dep.Devices {
+		if d.Pos.X < 0 || d.Pos.X > DefaultOffice.Width || d.Pos.Y < 0 || d.Pos.Y > DefaultOffice.Height {
+			t.Fatalf("device %d outside floor: %+v", i, d.Pos)
+		}
+		if d.Pos.Distance(DefaultOffice.AP) < MinAPDistance {
+			t.Fatalf("device %d too close to AP", i)
+		}
+		if d.DownlinkRSSIdBm < -60 || d.DownlinkRSSIdBm > 0 {
+			t.Fatalf("device %d downlink RSSI %v implausible", i, d.DownlinkRSSIdBm)
+		}
+	}
+}
+
+func TestDeploymentSNRRegime(t *testing.T) {
+	// The office must land in the paper's near-far regime: spread of
+	// roughly 35-50 dB at max gain (35 dB tolerated after allocation
+	// plus the 10 dB power-adaptation range), with the weakest devices
+	// near or below the noise floor.
+	rng := dsp.NewRand(2)
+	dep := Generate(DefaultOffice, radio.DefaultLinkBudget, 256, 500e3, rng)
+	spread := dep.SNRSpreadDB()
+	if spread < 25 || spread > 55 {
+		t.Fatalf("SNR spread %v dB outside the deployment regime", spread)
+	}
+	min, max := dsp.MinMax(dep.SNRs())
+	if max > 31 {
+		t.Fatalf("max SNR %v exceeds the AGC cap", max)
+	}
+	if min > 5 {
+		t.Fatalf("min SNR %v — no weak devices to exercise near-far", min)
+	}
+}
+
+func TestDeviceDownlinkAboveEnvelopeSensitivity(t *testing.T) {
+	// Every deployed tag must be able to hear the query (-49 dBm
+	// envelope detector, §4.1) — otherwise it could never associate.
+	rng := dsp.NewRand(3)
+	dep := Generate(DefaultOffice, radio.DefaultLinkBudget, 256, 500e3, rng)
+	for i, d := range dep.Devices {
+		if d.DownlinkRSSIdBm < radio.DefaultEnvelopeDetector.SensitivityDBm {
+			t.Fatalf("device %d downlink %v dBm below envelope sensitivity", i, d.DownlinkRSSIdBm)
+		}
+	}
+}
+
+func TestRoomsCount(t *testing.T) {
+	// The paper's floor has "more than ten rooms".
+	if DefaultOffice.Rooms() <= 10 {
+		t.Fatalf("rooms = %d", DefaultOffice.Rooms())
+	}
+}
+
+func TestPointDistance(t *testing.T) {
+	if got := (Point{0, 0}).Distance(Point{3, 4}); got != 5 {
+		t.Fatalf("distance = %v", got)
+	}
+}

@@ -1,0 +1,40 @@
+package dsp
+
+import "math"
+
+// FractionalDelay delays sig by frac samples (0 <= frac < 1) and returns
+// a same-length slice. The delay is applied in the frequency domain as
+// an exact all-pass phase ramp e^{-j2πf·frac}, which is correct at every
+// frequency — unlike FIR interpolation, which cannot represent a
+// fractional delay near the band edge that critically-sampled chirps
+// sweep through.
+//
+// A true fractional delay — rather than the "equivalent frequency
+// offset" shortcut — matters because a time shift moves upchirp and
+// downchirp dechirped peaks in opposite directions, which is exactly
+// what the packet-start midpoint estimator exploits (§3.3.1). The delay
+// is circular over the padded FFT length; with frac < 1 sample the
+// wrap-around is a single sample of leakage at the very end of the
+// padded (zero) region, far from any symbol of interest.
+func FractionalDelay(sig []complex128, frac float64) []complex128 {
+	if frac == 0 || len(sig) == 0 {
+		out := make([]complex128, len(sig))
+		copy(out, sig)
+		return out
+	}
+	m := NextPow2(len(sig) + 2)
+	buf := make([]complex128, m)
+	copy(buf, sig)
+	plan := Plan(m)
+	plan.Forward(buf)
+	for k := range buf {
+		// DFT shift theorem: x[n-d] <-> X[k]·e^{-j2πkd/M} with the
+		// unsigned bin index k.
+		phase := -2 * math.Pi * float64(k) * frac / float64(m)
+		buf[k] *= complex(math.Cos(phase), math.Sin(phase))
+	}
+	plan.Inverse(buf)
+	out := make([]complex128, len(sig))
+	copy(out, buf)
+	return out
+}

@@ -1,0 +1,207 @@
+// Package dsp provides the digital signal processing substrate used by the
+// NetScatter reproduction: a radix-2 FFT, spectral helpers, peak search,
+// deterministic random distributions and small statistics utilities.
+//
+// Everything operates on []complex128 baseband samples. The FFT is an
+// in-place iterative Cooley-Tukey transform with cached twiddle factors so
+// the receiver hot path (one FFT per CSS symbol) does not allocate.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// NextPow2 returns the smallest power of two >= n. It panics if n <= 0.
+func NextPow2(n int) int {
+	if n <= 0 {
+		panic("dsp: NextPow2 requires n > 0")
+	}
+	if IsPow2(n) {
+		return n
+	}
+	return 1 << bits.Len(uint(n))
+}
+
+// Log2 returns log2(n) for a power-of-two n.
+func Log2(n int) int {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("dsp: Log2 of non power of two %d", n))
+	}
+	return bits.TrailingZeros(uint(n))
+}
+
+// FFTPlan holds the precomputed bit-reversal permutation and twiddle
+// factors for a fixed power-of-two transform size. A plan is safe for
+// concurrent use: Forward and Inverse only read the plan.
+type FFTPlan struct {
+	n        int
+	perm     []int        // bit-reversal permutation
+	twiddles []complex128 // e^{-2πik/n} for k in [0, n/2)
+}
+
+// NewFFT builds a transform plan for size n (a power of two).
+func NewFFT(n int) *FFTPlan {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("dsp: FFT size %d is not a power of two", n))
+	}
+	p := &FFTPlan{n: n}
+	p.perm = make([]int, n)
+	shift := 64 - uint(Log2(n))
+	for i := range p.perm {
+		p.perm[i] = int(bits.Reverse64(uint64(i)) >> shift)
+	}
+	p.twiddles = make([]complex128, n/2)
+	for k := range p.twiddles {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		p.twiddles[k] = complex(math.Cos(angle), math.Sin(angle))
+	}
+	return p
+}
+
+// Size returns the transform size.
+func (p *FFTPlan) Size() int { return p.n }
+
+// Forward computes the in-place forward DFT of x. len(x) must equal the
+// plan size.
+func (p *FFTPlan) Forward(x []complex128) {
+	p.transform(x, false)
+}
+
+// Inverse computes the in-place inverse DFT of x, including the 1/n
+// normalization, so Inverse(Forward(x)) == x.
+func (p *FFTPlan) Inverse(x []complex128) {
+	p.transform(x, true)
+	scale := complex(1/float64(p.n), 0)
+	for i := range x {
+		x[i] *= scale
+	}
+}
+
+func (p *FFTPlan) transform(x []complex128, inverse bool) {
+	n := p.n
+	if len(x) != n {
+		panic(fmt.Sprintf("dsp: FFT input length %d does not match plan size %d", len(x), n))
+	}
+	// Bit-reversal reordering.
+	for i, j := range p.perm {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			k := 0
+			for i := start; i < start+half; i++ {
+				w := p.twiddles[k]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				t := w * x[i+half]
+				x[i+half] = x[i] - t
+				x[i] = x[i] + t
+				k += step
+			}
+		}
+	}
+}
+
+var (
+	planMu    sync.Mutex
+	planCache = map[int]*FFTPlan{}
+)
+
+// Plan returns a cached FFT plan for size n, building it on first use.
+func Plan(n int) *FFTPlan {
+	planMu.Lock()
+	defer planMu.Unlock()
+	if p, ok := planCache[n]; ok {
+		return p
+	}
+	p := NewFFT(n)
+	planCache[n] = p
+	return p
+}
+
+// FFT returns the forward DFT of x in a fresh slice. len(x) must be a
+// power of two.
+func FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	Plan(len(x)).Forward(out)
+	return out
+}
+
+// IFFT returns the normalized inverse DFT of x in a fresh slice.
+func IFFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	Plan(len(x)).Inverse(out)
+	return out
+}
+
+// ZeroPad copies x into a slice of length padLen (>= len(x)) with zeros
+// appended. Zero-padding before an FFT interpolates the spectrum, giving
+// the sub-bin resolution the NetScatter receiver needs (§3.2.3).
+func ZeroPad(x []complex128, padLen int) []complex128 {
+	if padLen < len(x) {
+		panic("dsp: ZeroPad target shorter than input")
+	}
+	out := make([]complex128, padLen)
+	copy(out, x)
+	return out
+}
+
+// Magnitudes writes |x[i]| into dst and returns it. If dst is nil or too
+// short, a new slice is allocated.
+func Magnitudes(dst []float64, x []complex128) []float64 {
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
+	}
+	dst = dst[:len(x)]
+	for i, v := range x {
+		dst[i] = math.Hypot(real(v), imag(v))
+	}
+	return dst
+}
+
+// PowerSpectrum writes |x[i]|^2 into dst and returns it.
+func PowerSpectrum(dst []float64, x []complex128) []float64 {
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
+	}
+	dst = dst[:len(x)]
+	for i, v := range x {
+		re, im := real(v), imag(v)
+		dst[i] = re*re + im*im
+	}
+	return dst
+}
+
+// SignalEnergy returns the total energy sum(|x|^2) of the samples.
+func SignalEnergy(x []complex128) float64 {
+	var e float64
+	for _, v := range x {
+		re, im := real(v), imag(v)
+		e += re*re + im*im
+	}
+	return e
+}
+
+// SignalPower returns the mean power of the samples.
+func SignalPower(x []complex128) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return SignalEnergy(x) / float64(len(x))
+}

@@ -1,0 +1,94 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand wraps math/rand with the extra distributions the simulator needs.
+// Every stochastic component in the reproduction draws from an explicitly
+// seeded Rand so experiments are reproducible run-to-run.
+type Rand struct {
+	*rand.Rand
+}
+
+// NewRand returns a deterministic source seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{rand.New(rand.NewSource(seed))}
+}
+
+// Normal draws from N(mean, sigma²).
+func (r *Rand) Normal(mean, sigma float64) float64 {
+	return mean + sigma*r.NormFloat64()
+}
+
+// TruncNormal draws from N(mean, sigma²) truncated to [lo, hi] by
+// rejection (the simulator only uses mild truncation, so this terminates
+// quickly).
+func (r *Rand) TruncNormal(mean, sigma, lo, hi float64) float64 {
+	for i := 0; i < 1000; i++ {
+		v := r.Normal(mean, sigma)
+		if v >= lo && v <= hi {
+			return v
+		}
+	}
+	return Clamp(mean, lo, hi)
+}
+
+// Rayleigh draws from a Rayleigh distribution with scale sigma.
+func (r *Rand) Rayleigh(sigma float64) float64 {
+	u := r.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return sigma * math.Sqrt(-2*math.Log(u))
+}
+
+// ComplexNormal draws a circularly symmetric complex Gaussian with total
+// variance sigma2 (variance sigma2/2 per real/imaginary component). This
+// is the standard model for both thermal noise and Rayleigh fading taps.
+func (r *Rand) ComplexNormal(sigma2 float64) complex128 {
+	s := math.Sqrt(sigma2 / 2)
+	return complex(s*r.NormFloat64(), s*r.NormFloat64())
+}
+
+// UniformPhase returns e^{jθ} with θ uniform in [0, 2π).
+func (r *Rand) UniformPhase() complex128 {
+	theta := 2 * math.Pi * r.Float64()
+	return complex(math.Cos(theta), math.Sin(theta))
+}
+
+// Uniform draws uniformly from [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bernoulli returns true with probability p.
+func (r *Rand) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Bytes fills a fresh slice of length n with random bytes.
+func (r *Rand) Bytes(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.Intn(256))
+	}
+	return b
+}
+
+// Bits returns n random bits.
+func (r *Rand) Bits(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.Intn(2))
+	}
+	return b
+}
+
+// Fork derives an independent deterministic stream from this one. Useful
+// for giving every simulated device its own source while keeping a single
+// top-level seed.
+func (r *Rand) Fork() *Rand {
+	return NewRand(r.Int63())
+}

@@ -1,0 +1,239 @@
+package exper
+
+import (
+	"fmt"
+	"math"
+
+	"netscatter/internal/chirp"
+	"netscatter/internal/choir"
+	"netscatter/internal/css"
+	"netscatter/internal/dsp"
+	"netscatter/internal/hw"
+	"netscatter/internal/radio"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "T1",
+		Title: "NetScatter modulation configurations",
+		Ref:   "Table 1",
+		Run:   runTable1,
+	})
+	register(Experiment{
+		ID:    "C1",
+		Title: "Choir collision probabilities",
+		Ref:   "§2.2",
+		Run:   runChoirCollision,
+	})
+	register(Experiment{
+		ID:    "F7",
+		Title: "Backscatter power gain vs Z0 impedance",
+		Ref:   "Fig. 7a",
+		Run:   runFig7,
+	})
+	register(Experiment{
+		ID:    "F8",
+		Title: "Normalized power spectrum side lobes",
+		Ref:   "Fig. 8",
+		Run:   runFig8,
+	})
+	register(Experiment{
+		ID:    "F14A",
+		Title: "Device frequency offsets",
+		Ref:   "Fig. 14a",
+		Run:   runFig14a,
+	})
+	register(Experiment{
+		ID:    "F14B",
+		Title: "Residual FFT-bin variation per configuration",
+		Ref:   "Fig. 14b",
+		Run:   runFig14b,
+	})
+	register(Experiment{
+		ID:    "S1",
+		Title: "Multi-user Shannon capacity below the noise floor",
+		Ref:   "§3.1",
+		Run:   runShannon,
+	})
+}
+
+func runTable1(cfg Config) (*Result, error) {
+	res := &Result{ID: "T1", Title: "NetScatter modulation configurations (Table 1)"}
+	t := Table{
+		Columns: []string{"BW[kHz]", "SF", "TimeVar[us]", "FreqVar[Hz]", "BitRate[bps]", "Sens[dBm]"},
+	}
+	const skip = 2
+	for _, p := range css.Table1Configs() {
+		t.Rows = append(t.Rows, []string{
+			f(p.BW / 1e3),
+			fmt.Sprintf("%d", p.SF),
+			f(p.TimeToleranceSec(skip) * 1e6),
+			f(p.FreqToleranceHz(skip)),
+			f(p.OOKBitRate()),
+			fmt.Sprintf("%.0f", css.SensitivityDBm(p)),
+		})
+	}
+	res.Tables = append(res.Tables, t)
+	res.Notes = append(res.Notes,
+		"sensitivity anchored at -123 dBm for (500 kHz, SF 9) with NF = 6 dB and 3 dB per SF step;",
+		"the paper's (125 kHz, SF 6) row reports -118 dBm where the 3 dB/SF rule gives -120 (see EXPERIMENTS.md)")
+	return res, nil
+}
+
+func runChoirCollision(cfg Config) (*Result, error) {
+	rng := dsp.NewRand(cfg.Seed)
+	trials := 200000
+	if cfg.Quick {
+		trials = 20000
+	}
+	res := &Result{ID: "C1", Title: "Choir collision probabilities (§2.2)"}
+	t := Table{
+		Name:    "same cyclic shift collisions, SF 9",
+		Columns: []string{"N", "P[analytic]", "P[approx n(n-1)/2^(SF+1)]", "P[monte-carlo]"},
+	}
+	for _, n := range []int{2, 5, 10, 20, 50} {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			sci(choir.SameShiftCollisionProb(n, 9)),
+			sci(choir.SameShiftCollisionApprox(n, 9)),
+			sci(choir.MonteCarloSameShift(n, 9, trials, rng)),
+		})
+	}
+	res.Tables = append(res.Tables, t)
+	t2 := Table{
+		Name:    "all transmitters on distinct tenth-bin fractions",
+		Columns: []string{"N", "P[analytic]", "P[monte-carlo]"},
+	}
+	for _, n := range []int{2, 5, 8, 10} {
+		t2.Rows = append(t2.Rows, []string{
+			fmt.Sprintf("%d", n),
+			sci(choir.UniqueFractionProb(n)),
+			sci(choir.MonteCarloUniqueFraction(n, trials, rng)),
+		})
+	}
+	res.Tables = append(res.Tables, t2)
+	res.Notes = append(res.Notes,
+		"paper quotes ~30% unique-fraction probability at N=5 and 9%/32% same-shift collisions at N=10/20 (SF 9)")
+	return res, nil
+}
+
+func runFig7(cfg Config) (*Result, error) {
+	res := &Result{ID: "F7", Title: "Backscatter power gain vs Z0 (Fig. 7a)"}
+	t := Table{Columns: []string{"Z0[ohm]", "Gain[dB]"}}
+	for _, z := range []float64{0, 10, 25, 50, 100, 200, 400, 600, 800, 1000} {
+		t.Rows = append(t.Rows, []string{f(z), f(hw.PowerGainDB(z, math.Inf(1)))})
+	}
+	res.Tables = append(res.Tables, t)
+	t2 := Table{
+		Name:    "switch-network power levels (§4.1)",
+		Columns: []string{"Gain[dB]", "Z0[ohm]"},
+	}
+	for _, l := range hw.PowerLevels() {
+		t2.Rows = append(t2.Rows, []string{f(l.GainDB), f(l.Z0Ohms)})
+	}
+	res.Tables = append(res.Tables, t2)
+	return res, nil
+}
+
+func runFig8(cfg Config) (*Result, error) {
+	p := chirp.Default500k9
+	mod := chirp.NewModulator(p)
+	dem := chirp.NewDemodulator(p, 8)
+	spec := dem.Spectrum(mod.Symbol(0))
+	peak := spec[0]
+	res := &Result{ID: "F8", Title: "Normalized power spectrum of a dechirped symbol (Fig. 8)"}
+	t := Table{Columns: []string{"offset[bins]", "measured[dB]", "Dirichlet analytic[dB]"}}
+	for _, off := range []float64{0, 0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 8, 16, 64, 256} {
+		idx := int(off * float64(dem.ZeroPad()))
+		meas := 10 * math.Log10(spec[idx]/peak)
+		ana := 20 * math.Log10(dsp.DirichletMag(off, p.Chips()))
+		t.Rows = append(t.Rows, []string{f(off), f(meas), f(ana)})
+	}
+	res.Tables = append(res.Tables, t)
+	res.Notes = append(res.Notes,
+		"first side lobe -13.5 dB at 1.5 bins: a SKIP=2 neighbour drowns below this (paper's 13.5 dB figure);",
+		"third side lobe -20.8 dB near 3.5 bins matches the paper's (SKIP=3, -21 dB) annotation")
+	return res, nil
+}
+
+func runFig14a(cfg Config) (*Result, error) {
+	rng := dsp.NewRand(cfg.Seed)
+	nDev, packets := 256, 1000
+	if cfg.Quick {
+		nDev, packets = 64, 50
+	}
+	var samples []float64
+	for d := 0; d < nDev; d++ {
+		osc := radio.NewBackscatterOscillator(rng, 20, 50)
+		for k := 0; k < packets; k++ {
+			samples = append(samples, osc.PacketOffsetHz(rng))
+		}
+	}
+	cdf := dsp.NewCDF(samples)
+	res := &Result{ID: "F14A", Title: "Backscatter frequency offsets (Fig. 14a)"}
+	t := Table{Columns: []string{"freq[Hz]", "CDF"}}
+	for _, x := range []float64{-150, -100, -50, -25, 0, 25, 50, 100, 150} {
+		t.Rows = append(t.Rows, []string{f(x), f(cdf.At(x))})
+	}
+	res.Tables = append(res.Tables, t)
+	min, max := dsp.MinMax(samples)
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"offsets span [%.0f, %.0f] Hz — within the paper's ±150 Hz, under 0.15 of a 976 Hz bin", min, max))
+	return res, nil
+}
+
+func runFig14b(cfg Config) (*Result, error) {
+	rng := dsp.NewRand(cfg.Seed)
+	samplesPer := 200000
+	if cfg.Quick {
+		samplesPer = 10000
+	}
+	configs := []chirp.Params{
+		{SF: 9, BW: 500e3, Oversample: 1},
+		{SF: 8, BW: 250e3, Oversample: 1},
+		{SF: 7, BW: 125e3, Oversample: 1},
+	}
+	res := &Result{ID: "F14B", Title: "Residual FFT-bin variation (Fig. 14b)"}
+	t := Table{Columns: []string{"config", "1-CDF@0.5", "1-CDF@1.0", "1-CDF@1.5", "1-CDF@2.0"}}
+	model := defaultDelayModel()
+	for _, p := range configs {
+		vals := make([]float64, samplesPer)
+		for i := range vals {
+			osc := radio.NewBackscatterOscillator(rng, 20, 50)
+			dt := model.Draw(rng)
+			df := osc.PacketOffsetHz(rng)
+			vals[i] = math.Abs(-p.TimeOffsetToBins(dt) + p.FreqOffsetToBins(df))
+		}
+		cdf := dsp.NewCDF(vals)
+		t.Rows = append(t.Rows, []string{
+			p.String(),
+			sci(cdf.Complementary(0.5)),
+			sci(cdf.Complementary(1.0)),
+			sci(cdf.Complementary(1.5)),
+			sci(cdf.Complementary(2.0)),
+		})
+	}
+	res.Tables = append(res.Tables, t)
+	res.Notes = append(res.Notes,
+		"the same hardware delay costs proportionally fewer bins at lower bandwidth (ΔFFTbin = Δt·BW),",
+		"matching Fig. 14b's ordering: the 125 kHz configuration has the lightest tail")
+	return res, nil
+}
+
+func defaultDelayModel() hw.DelayModel { return hw.DefaultDelayModel }
+
+func runShannon(cfg Config) (*Result, error) {
+	res := &Result{ID: "S1", Title: "Multi-user capacity scaling below the noise floor (§3.1)"}
+	bw := 500e3
+	t := Table{Columns: []string{"N", "C[exact, kbps] @-20dB", "C[linear approx]", "ratio"}}
+	ps, pn := math.Pow(10, -2.0), 1.0 // -20 dB per-device SNR
+	for _, n := range []int{1, 16, 64, 128, 256} {
+		exact := radio.MultiUserCapacity(bw, n, ps, pn) / 1e3
+		approx := radio.MultiUserCapacityLinearApprox(bw, n, ps, pn) / 1e3
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), f(exact), f(approx), f(exact / approx)})
+	}
+	res.Tables = append(res.Tables, t)
+	res.Notes = append(res.Notes,
+		"below the noise floor capacity grows ~linearly with N: N concurrent backscatter devices put N× more power at the AP")
+	return res, nil
+}

@@ -1,0 +1,64 @@
+package hw
+
+import (
+	"netscatter/internal/dsp"
+)
+
+// DelayModel draws the per-packet hardware delay between the tag hearing
+// the AP's query and the first backscattered chirp sample. The paper
+// measures this chain (envelope detector → MCU interrupt → FPGA chirp
+// start) to vary by as much as 3.5 µs packet-to-packet (§3.2.1, §4.2),
+// which at 500 kHz is more than one FFT bin — the reason SKIP bins are
+// left empty between devices.
+//
+// The model is a mixture: a well-behaved Gaussian jitter for most
+// packets plus an occasional long MCU hiccup, which reproduces the heavy
+// 1-CDF tail of Fig. 14b.
+type DelayModel struct {
+	// BaseSec is the deterministic part of the turnaround delay; it is
+	// common-mode (the AP calibrates it out) and only the variation
+	// matters for decoding.
+	BaseSec float64
+	// JitterSigmaSec is the standard deviation of the per-packet
+	// Gaussian jitter.
+	JitterSigmaSec float64
+	// HiccupProb is the probability of a long MCU-scheduling hiccup.
+	HiccupProb float64
+	// HiccupMaxSec bounds the uniform extra delay of a hiccup.
+	HiccupMaxSec float64
+	// MaxSec clips the total variation (the paper's measured cap).
+	MaxSec float64
+}
+
+// DefaultDelayModel is calibrated against §4.2: residual ΔFFTbin below
+// one bin for ~98% of packets at 500 kHz, with a tail reaching ~2 bins.
+var DefaultDelayModel = DelayModel{
+	BaseSec:        12e-6,
+	JitterSigmaSec: 0.55e-6,
+	HiccupProb:     0.02,
+	HiccupMaxSec:   3.0e-6,
+	MaxSec:         3.5e-6,
+}
+
+// Draw returns one per-packet delay variation in seconds (>= 0, i.e. the
+// deviation from the calibrated base delay).
+func (m DelayModel) Draw(rng *dsp.Rand) float64 {
+	d := rng.Normal(0, m.JitterSigmaSec)
+	if d < 0 {
+		d = -d
+	}
+	if rng.Bernoulli(m.HiccupProb) {
+		d += rng.Uniform(0, m.HiccupMaxSec)
+	}
+	if d > m.MaxSec {
+		d = m.MaxSec
+	}
+	return d
+}
+
+// PropagationDelaySec returns the round-trip time of flight for a tag at
+// the given distance: 2d/c. At <= 100 m this is under 666 ns, i.e. a
+// 0.33-bin shift at 500 kHz (§3.2.1) — small but included for fidelity.
+func PropagationDelaySec(distanceM float64) float64 {
+	return 2 * distanceM / 299792458.0
+}

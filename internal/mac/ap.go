@@ -1,0 +1,242 @@
+package mac
+
+import (
+	"fmt"
+
+	"netscatter/internal/core"
+)
+
+// DeviceRecord is the AP's view of one associated device.
+type DeviceRecord struct {
+	NetworkID uint8
+	Slot      int
+	SNRdB     float64
+	Acked     bool
+}
+
+// AP is the access-point side of the NetScatter protocol: it owns the
+// allocator, hands out network IDs, piggybacks association responses on
+// queries and schedules full reshuffles when an insert does not fit
+// (§3.3.2-§3.3.4, Fig. 10).
+type AP struct {
+	book    *core.CodeBook
+	alloc   *Allocator
+	records map[uint8]*DeviceRecord
+	groupID uint8
+	nextID  uint8
+
+	pending  *Assignment // association response awaiting ACK
+	shuffled bool        // a reshuffle must ride on the next query
+}
+
+// NewAP builds an AP over a code book.
+func NewAP(book *core.CodeBook) *AP {
+	return &AP{
+		book:    book,
+		alloc:   NewAllocator(book),
+		records: map[uint8]*DeviceRecord{},
+	}
+}
+
+// Book returns the AP's code book.
+func (ap *AP) Book() *core.CodeBook { return ap.book }
+
+// Allocator exposes the shift allocator.
+func (ap *AP) Allocator() *Allocator { return ap.alloc }
+
+// Devices returns the number of associated (ACKed) devices.
+func (ap *AP) Devices() int {
+	n := 0
+	for _, r := range ap.records {
+		if r.Acked {
+			n++
+		}
+	}
+	return n
+}
+
+// Record returns a device record by network ID.
+func (ap *AP) Record(id uint8) (*DeviceRecord, bool) {
+	r, ok := ap.records[id]
+	return r, ok
+}
+
+// NextQuery builds the query for the next round. The pending association
+// response (if any) rides along; it is repeated on every query until the
+// AP sees the device's ACK (§3.3.4). After a reshuffle, the full slot
+// permutation is included once.
+func (ap *AP) NextQuery() *Query {
+	q := &Query{GroupID: ap.groupID}
+	if ap.pending != nil {
+		a := *ap.pending
+		q.Assign = &a
+	}
+	if ap.shuffled {
+		q.Shuffle = ap.slotPermutation()
+		ap.shuffled = false
+	}
+	return q
+}
+
+// Reshuffle re-packs every device's slot by current signal strength and
+// schedules the full permutation for the next query (§3.3.3: the AP
+// "updates the cyclic shift assignments for all the devices in the
+// network"). After repacking, assigned slots are exactly the first n
+// assignable slots in slot order, which is what lets each device find
+// its new slot from the permutation alone.
+func (ap *AP) Reshuffle() {
+	ids, snrs := ap.allIDsSNRs()
+	if len(ids) == 0 {
+		return
+	}
+	assign := ap.alloc.AssignAll(ids, snrs)
+	for devID, s := range assign {
+		if r, exists := ap.records[devID]; exists {
+			r.Slot = s
+		}
+	}
+	ap.shuffled = true
+}
+
+// OnAssociationRequest handles a decoded association transmission with
+// the measured backscatter signal strength. It allocates a network ID
+// and slot (possibly reshuffling everyone to fit the newcomer) and
+// stages the assignment for the next query.
+func (ap *AP) OnAssociationRequest(snrDB float64) (*Assignment, error) {
+	if ap.pending != nil {
+		// One association in flight at a time (the deployment turns
+		// devices on one by one, §3.3.2).
+		return nil, fmt.Errorf("mac: association already in progress")
+	}
+	id, err := ap.allocateID()
+	if err != nil {
+		return nil, err
+	}
+	slot, needShuffle, ok := ap.alloc.Insert(id, snrDB)
+	if !ok {
+		return nil, fmt.Errorf("mac: network full (%d devices)", ap.alloc.Len())
+	}
+	if needShuffle {
+		ids, snrs := ap.allIDsSNRs()
+		ids = append(ids, id)
+		snrs = append(snrs, snrDB)
+		assign := ap.alloc.AssignAll(ids, snrs)
+		for devID, s := range assign {
+			if r, exists := ap.records[devID]; exists {
+				r.Slot = s
+			}
+		}
+		slot = assign[id]
+		ap.shuffled = true
+	}
+	ap.records[id] = &DeviceRecord{NetworkID: id, Slot: slot, SNRdB: snrDB}
+	ap.pending = &Assignment{NetworkID: id, Slot: uint8(slot)}
+	return ap.pending, nil
+}
+
+// OnAssociationAck marks the pending device as fully associated.
+func (ap *AP) OnAssociationAck(id uint8) {
+	if r, ok := ap.records[id]; ok {
+		r.Acked = true
+	}
+	if ap.pending != nil && ap.pending.NetworkID == id {
+		ap.pending = nil
+	}
+}
+
+// OnDeviceLost removes a device (re-association or timeout).
+func (ap *AP) OnDeviceLost(id uint8) {
+	ap.alloc.Remove(id)
+	delete(ap.records, id)
+	if ap.pending != nil && ap.pending.NetworkID == id {
+		ap.pending = nil
+	}
+}
+
+// UpdateSNR feeds back the signal strength measured during a data round.
+func (ap *AP) UpdateSNR(id uint8, snrDB float64) {
+	if r, ok := ap.records[id]; ok {
+		r.SNRdB = snrDB
+		ap.alloc.UpdateSNR(id, snrDB)
+	}
+}
+
+// ActiveShifts returns the cyclic shifts of all ACKed devices plus the
+// two association shifts (the AP always listens for newcomers there).
+// The shift order is: data devices in network-ID order, then the
+// high-SNR and low-SNR association shifts.
+func (ap *AP) ActiveShifts() (shifts []int, ids []uint8) {
+	for id := 0; id < 256; id++ {
+		r, ok := ap.records[uint8(id)]
+		if !ok || !r.Acked {
+			continue
+		}
+		shifts = append(shifts, ap.book.ShiftOfSlot(r.Slot))
+		ids = append(ids, r.NetworkID)
+	}
+	hi, lo := ap.book.AssociationSlots()
+	shifts = append(shifts, ap.book.ShiftOfSlot(hi), ap.book.ShiftOfSlot(lo))
+	return shifts, ids
+}
+
+// PendingAssignment exposes the in-flight association response (nil if
+// none); used by tests and the association example.
+func (ap *AP) PendingAssignment() *Assignment { return ap.pending }
+
+func (ap *AP) allocateID() (uint8, error) {
+	for i := 0; i < 256; i++ {
+		id := ap.nextID
+		ap.nextID++
+		if _, taken := ap.records[id]; !taken {
+			return id, nil
+		}
+	}
+	return 0, fmt.Errorf("mac: no free network IDs")
+}
+
+func (ap *AP) allIDsSNRs() (ids []uint8, snrs []float64) {
+	for id, r := range ap.records {
+		ids = append(ids, id)
+		snrs = append(snrs, r.SNRdB)
+	}
+	return ids, snrs
+}
+
+// slotPermutation serializes the current slot assignment as a
+// permutation over device indices for the shuffle query. Index i of the
+// result is the network ID owning the i-th assigned slot (in slot
+// order); unassigned tail entries are filled with the remaining IDs so
+// the result is a valid permutation of 0..n-1.
+func (ap *AP) slotPermutation() []int {
+	n := ap.alloc.Len()
+	perm := make([]int, 0, n)
+	seen := map[int]bool{}
+	for s := 0; s < ap.book.Slots() && len(perm) < n; s++ {
+		if id, ok := ap.alloc.bySlot[s]; ok {
+			perm = append(perm, int(id))
+			seen[int(id)] = true
+		}
+	}
+	return normalizePerm(perm)
+}
+
+// normalizePerm maps arbitrary distinct ints to a permutation of
+// 0..n-1 preserving order structure (rank transform), so it can be
+// Lehmer-encoded.
+func normalizePerm(vals []int) []int {
+	type kv struct{ v, pos int }
+	sorted := make([]kv, len(vals))
+	for i, v := range vals {
+		sorted[i] = kv{v, i}
+	}
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].v < sorted[j-1].v; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	out := make([]int, len(vals))
+	for rank, e := range sorted {
+		out[e.pos] = rank
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package mac
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Group scheduling (§3.3.3): networks can hold more devices than one
+// concurrent round supports. The AP assigns every device an 8-bit group
+// ID carried in the query; only the addressed group answers. Devices
+// with similar signal strength share a group, which further shrinks the
+// near-far spread each concurrent round must absorb.
+
+// Group is one concurrently-transmitting set.
+type Group struct {
+	ID uint8
+	// Members are device identifiers, strongest first.
+	Members []uint8
+	// MinSNRdB and MaxSNRdB bound the group's signal strengths.
+	MinSNRdB, MaxSNRdB float64
+}
+
+// SpreadDB returns the group's internal SNR spread.
+func (g Group) SpreadDB() float64 { return g.MaxSNRdB - g.MinSNRdB }
+
+// PlanGroups partitions devices into groups: sorted by SNR descending,
+// greedily packed while the group stays under maxPerGroup members and
+// maxSpreadDB of internal spread. Every device lands in exactly one
+// group. ids and snrs run in parallel.
+func PlanGroups(ids []uint8, snrs []float64, maxPerGroup int, maxSpreadDB float64) ([]Group, error) {
+	if len(ids) != len(snrs) {
+		return nil, fmt.Errorf("mac: %d ids vs %d snrs", len(ids), len(snrs))
+	}
+	if maxPerGroup < 1 {
+		return nil, fmt.Errorf("mac: maxPerGroup %d", maxPerGroup)
+	}
+	if len(ids) > 256*maxPerGroup {
+		return nil, fmt.Errorf("mac: %d devices exceed 256 groups of %d", len(ids), maxPerGroup)
+	}
+	type rec struct {
+		id  uint8
+		snr float64
+	}
+	recs := make([]rec, len(ids))
+	for i := range ids {
+		recs[i] = rec{ids[i], snrs[i]}
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].snr > recs[j].snr })
+
+	var groups []Group
+	var cur *Group
+	for _, r := range recs {
+		if cur == nil || len(cur.Members) >= maxPerGroup ||
+			(len(cur.Members) > 0 && cur.MaxSNRdB-r.snr > maxSpreadDB) {
+			groups = append(groups, Group{ID: uint8(len(groups)), MaxSNRdB: r.snr, MinSNRdB: r.snr})
+			cur = &groups[len(groups)-1]
+		}
+		cur.Members = append(cur.Members, r.id)
+		if r.snr < cur.MinSNRdB {
+			cur.MinSNRdB = r.snr
+		}
+		if r.snr > cur.MaxSNRdB {
+			cur.MaxSNRdB = r.snr
+		}
+	}
+	return groups, nil
+}
+
+// Schedule cycles through groups round-robin: round k polls
+// groups[k mod len].
+type Schedule struct {
+	Groups []Group
+	round  int
+}
+
+// NewSchedule builds a round-robin schedule over groups.
+func NewSchedule(groups []Group) *Schedule {
+	return &Schedule{Groups: groups}
+}
+
+// Next returns the group to poll this round and advances the schedule.
+func (s *Schedule) Next() Group {
+	g := s.Groups[s.round%len(s.Groups)]
+	s.round++
+	return g
+}
+
+// RoundsPerSweep returns how many rounds one full network sweep takes.
+func (s *Schedule) RoundsPerSweep() int { return len(s.Groups) }

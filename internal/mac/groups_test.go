@@ -1,0 +1,127 @@
+package mac
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netscatter/internal/dsp"
+)
+
+func TestPlanGroupsCoversEveryDeviceOnce(t *testing.T) {
+	rng := dsp.NewRand(1)
+	n := 200
+	ids := make([]uint8, n)
+	snrs := make([]float64, n)
+	for i := range ids {
+		ids[i] = uint8(i)
+		snrs[i] = rng.Uniform(-20, 30)
+	}
+	groups, err := PlanGroups(ids, snrs, 64, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint8]int{}
+	for _, g := range groups {
+		if len(g.Members) == 0 || len(g.Members) > 64 {
+			t.Fatalf("group %d size %d", g.ID, len(g.Members))
+		}
+		if g.SpreadDB() > 15 {
+			t.Fatalf("group %d spread %.1f dB", g.ID, g.SpreadDB())
+		}
+		for _, id := range g.Members {
+			seen[id]++
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("covered %d of %d devices", len(seen), n)
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("device %d in %d groups", id, c)
+		}
+	}
+}
+
+func TestPlanGroupsLargeNetwork(t *testing.T) {
+	// The paper's scaling story: 1000 devices over 2 MHz total — here,
+	// 512 devices in signal-strength groups of <= 256.
+	rng := dsp.NewRand(2)
+	n := 512
+	ids := make([]uint8, n)
+	snrs := make([]float64, n)
+	for i := range ids {
+		ids[i] = uint8(i % 256) // IDs repeat across groups in a real net
+		snrs[i] = rng.Uniform(-15, 30)
+	}
+	groups, err := PlanGroups(ids, snrs, 256, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) < 2 {
+		t.Fatalf("512 devices need >= 2 groups, got %d", len(groups))
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g.Members)
+	}
+	if total != n {
+		t.Fatalf("scheduled %d of %d", total, n)
+	}
+}
+
+func TestPlanGroupsSpreadPropertyQuick(t *testing.T) {
+	rng := dsp.NewRand(3)
+	f := func(nRaw, maxPerRaw uint8, spreadRaw uint16) bool {
+		n := int(nRaw)%100 + 1
+		maxPer := int(maxPerRaw)%40 + 1
+		maxSpread := float64(spreadRaw%30) + 1
+		ids := make([]uint8, n)
+		snrs := make([]float64, n)
+		for i := range ids {
+			ids[i] = uint8(i)
+			snrs[i] = rng.Uniform(-30, 30)
+		}
+		groups, err := PlanGroups(ids, snrs, maxPer, maxSpread)
+		if err != nil {
+			return false
+		}
+		count := 0
+		for _, g := range groups {
+			if len(g.Members) > maxPer || g.SpreadDB() > maxSpread+1e-9 {
+				return false
+			}
+			count += len(g.Members)
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanGroupsErrors(t *testing.T) {
+	if _, err := PlanGroups([]uint8{1}, []float64{1, 2}, 4, 10); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := PlanGroups([]uint8{1}, []float64{1}, 0, 10); err == nil {
+		t.Error("zero group size accepted")
+	}
+}
+
+func TestScheduleRoundRobin(t *testing.T) {
+	groups := []Group{{ID: 0}, {ID: 1}, {ID: 2}}
+	s := NewSchedule(groups)
+	if s.RoundsPerSweep() != 3 {
+		t.Fatalf("rounds per sweep = %d", s.RoundsPerSweep())
+	}
+	var order []uint8
+	for i := 0; i < 6; i++ {
+		order = append(order, s.Next().ID)
+	}
+	want := []uint8{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("schedule order %v", order)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package mac
+
+import (
+	"math"
+
+	"netscatter/internal/hw"
+)
+
+// PowerController is the device-side fine-grained self-aware power
+// adjustment of §3.2.3. Using channel reciprocity, a device treats the
+// RSSI of the AP's query (measured by its envelope detector) as a proxy
+// for its own uplink strength at the AP, and steers its backscatter
+// power gain to keep the received level where the AP assigned it: if the
+// query gets stronger, the channel improved, so the device lowers its
+// gain (and vice versa). No uplink signalling is needed.
+type PowerController struct {
+	// Levels are the available power gains (0/-4/-10 dB in hardware).
+	Levels []hw.PowerLevel
+	// LowRSSIThresholdDBm splits "weak" from "strong" devices at
+	// association: weak devices start at maximum gain (they have no
+	// headroom), strong devices start mid-ladder so they can move both
+	// ways.
+	LowRSSIThresholdDBm float64
+	// SlackDB is how far the ideal gain may fall outside the ladder
+	// before the device skips the round rather than transmit at a
+	// badly wrong power.
+	SlackDB float64
+
+	associated   bool
+	baselineRSSI float64
+	assignedGain float64
+	skipCount    int
+}
+
+// NewPowerController returns a controller with the paper's three
+// hardware levels and defaults.
+func NewPowerController() *PowerController {
+	return &PowerController{
+		Levels:              hw.PowerLevels(),
+		LowRSSIThresholdDBm: -35,
+		SlackDB:             3,
+	}
+}
+
+// AssociateGainDB implements the association-time rule: weak downlink →
+// maximum gain; otherwise the middle level, leaving headroom both ways.
+// It records the RSSI baseline for later adjustments and returns the
+// gain used for the association request.
+func (pc *PowerController) AssociateGainDB(rssiDBm float64) float64 {
+	pc.associated = true
+	pc.baselineRSSI = rssiDBm
+	pc.skipCount = 0
+	if rssiDBm < pc.LowRSSIThresholdDBm {
+		pc.assignedGain = pc.maxGain()
+	} else {
+		pc.assignedGain = pc.midGain()
+	}
+	return pc.assignedGain
+}
+
+// Adjust picks the gain for a data round given the current query RSSI.
+// participate is false when the ideal gain falls outside the ladder by
+// more than SlackDB — the device sits the round out (§3.2.3). After two
+// consecutive skips, NeedsReassociation reports true and the device
+// re-enters association so the AP can re-place it.
+func (pc *PowerController) Adjust(rssiDBm float64) (gainDB float64, participate bool) {
+	if !pc.associated {
+		return pc.maxGain(), false
+	}
+	// Channel improved by delta => back off by delta (reciprocity).
+	delta := rssiDBm - pc.baselineRSSI
+	ideal := pc.assignedGain - delta
+	best, bestErr := 0.0, math.Inf(1)
+	for _, l := range pc.Levels {
+		if e := math.Abs(l.GainDB - ideal); e < bestErr {
+			best, bestErr = l.GainDB, e
+		}
+	}
+	if bestErr > pc.SlackDB {
+		pc.skipCount++
+		return best, false
+	}
+	pc.skipCount = 0
+	return best, true
+}
+
+// NeedsReassociation reports whether the device has skipped more than
+// two consecutive rounds and must re-associate (§3.2.3).
+func (pc *PowerController) NeedsReassociation() bool { return pc.skipCount > 2 }
+
+// Reset clears association state (called when re-associating).
+func (pc *PowerController) Reset() {
+	pc.associated = false
+	pc.skipCount = 0
+}
+
+func (pc *PowerController) maxGain() float64 {
+	g := math.Inf(-1)
+	for _, l := range pc.Levels {
+		if l.GainDB > g {
+			g = l.GainDB
+		}
+	}
+	return g
+}
+
+func (pc *PowerController) midGain() float64 {
+	// Middle of the ladder (levels are few; sort-free selection).
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, l := range pc.Levels {
+		if l.GainDB < min {
+			min = l.GainDB
+		}
+		if l.GainDB > max {
+			max = l.GainDB
+		}
+	}
+	target := (min + max) / 2
+	best, bestErr := 0.0, math.Inf(1)
+	for _, l := range pc.Levels {
+		if e := math.Abs(l.GainDB - target); e < bestErr {
+			best, bestErr = l.GainDB, e
+		}
+	}
+	return best
+}

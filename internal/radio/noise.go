@@ -1,0 +1,44 @@
+package radio
+
+import (
+	"netscatter/internal/dsp"
+)
+
+// AddAWGN adds circularly symmetric complex Gaussian noise with total
+// power noisePower to sig in place.
+func AddAWGN(rng *dsp.Rand, sig []complex128, noisePower float64) {
+	for i := range sig {
+		sig[i] += rng.ComplexNormal(noisePower)
+	}
+}
+
+// AddUnitNoise adds unit-power complex noise, the normalization used
+// throughout the simulator.
+func AddUnitNoise(rng *dsp.Rand, sig []complex128) {
+	AddAWGN(rng, sig, 1)
+}
+
+// Superpose adds src (starting at sample offset) into dst, clipping src
+// to dst's bounds. It returns the number of samples written. This is how
+// concurrent backscatter transmissions combine at the AP antenna.
+func Superpose(dst, src []complex128, offset int) int {
+	n := 0
+	for i, v := range src {
+		j := offset + i
+		if j < 0 {
+			continue
+		}
+		if j >= len(dst) {
+			break
+		}
+		dst[j] += v
+		n++
+	}
+	return n
+}
+
+// MeasureSNRdB estimates the SNR of a signal of known power against unit
+// noise; provided for tests.
+func MeasureSNRdB(signalPower float64) float64 {
+	return LinearToDB(signalPower)
+}

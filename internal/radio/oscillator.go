@@ -1,0 +1,55 @@
+package radio
+
+import "netscatter/internal/dsp"
+
+// Oscillator models a crystal-driven clock with a static part-per-million
+// error plus small per-packet drift. The paper's key observation (§2.2)
+// is that backscatter devices synthesize only baseband frequencies
+// (< 10 MHz), so the same crystal tolerance produces ~90x smaller
+// absolute frequency offsets than a 900 MHz radio — which is why Choir's
+// fractional-bin trick cannot separate backscatter devices.
+type Oscillator struct {
+	// NominalHz is the frequency being synthesized (the 3 MHz
+	// backscatter subcarrier, or the 900 MHz carrier for a radio).
+	NominalHz float64
+	// PPM is this device's static crystal error in parts per million.
+	PPM float64
+	// DriftHz is the standard deviation of the additional per-packet
+	// frequency wander (temperature, supply voltage).
+	DriftHz float64
+}
+
+// StaticOffsetHz returns the device's static frequency offset:
+// NominalHz·PPM·1e-6.
+func (o Oscillator) StaticOffsetHz() float64 {
+	return o.NominalHz * o.PPM * 1e-6
+}
+
+// PacketOffsetHz returns the total frequency offset for one packet:
+// static plus a fresh drift draw.
+func (o Oscillator) PacketOffsetHz(rng *dsp.Rand) float64 {
+	return o.StaticOffsetHz() + rng.Normal(0, o.DriftHz)
+}
+
+// NewBackscatterOscillator draws a backscatter device's oscillator:
+// 3 MHz subcarrier with a crystal error drawn from N(0, ppmSigma),
+// clipped to ±maxPPM. With a 40 ppm crystal the worst-case offset is
+// 3e6·40e-6 = 120 Hz, matching the < 150 Hz spread of Fig. 14a.
+func NewBackscatterOscillator(rng *dsp.Rand, ppmSigma, maxPPM float64) Oscillator {
+	return Oscillator{
+		NominalHz: 3e6,
+		PPM:       rng.TruncNormal(0, ppmSigma, -maxPPM, maxPPM),
+		DriftHz:   5,
+	}
+}
+
+// NewRadioOscillator draws a LoRa radio's oscillator: the full 900 MHz
+// carrier is synthesized from the crystal, so the same ppm error is
+// amplified by the carrier frequency (Choir's enabling imperfection).
+func NewRadioOscillator(rng *dsp.Rand, ppmSigma, maxPPM float64) Oscillator {
+	return Oscillator{
+		NominalHz: CarrierHz,
+		PPM:       rng.TruncNormal(0, ppmSigma, -maxPPM, maxPPM),
+		DriftHz:   30,
+	}
+}

@@ -1,0 +1,262 @@
+package radio
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"netscatter/internal/dsp"
+)
+
+func TestUnitConversions(t *testing.T) {
+	if got := DBmToWatts(30); math.Abs(got-1) > 1e-12 {
+		t.Errorf("30 dBm = %v W", got)
+	}
+	if got := WattsToDBm(0.001); math.Abs(got-0) > 1e-12 {
+		t.Errorf("1 mW = %v dBm", got)
+	}
+	f := func(dbm float64) bool {
+		dbm = math.Mod(dbm, 100)
+		return math.Abs(WattsToDBm(DBmToWatts(dbm))-dbm) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThermalNoise(t *testing.T) {
+	// -174 dBm/Hz + 10log10(500kHz) + 6 = -111.0 dBm: the floor that
+	// makes the paper's -123 dBm sensitivity a -12 dB demod SNR.
+	got := ThermalNoiseDBm(500e3, 6)
+	if math.Abs(got-(-111.01)) > 0.05 {
+		t.Fatalf("noise floor = %v", got)
+	}
+}
+
+func TestDopplerShift(t *testing.T) {
+	// §4.2: 10 m/s at 900 MHz -> 30 Hz.
+	got := DopplerShiftHz(10, 900e6)
+	if math.Abs(got-30) > 0.1 {
+		t.Fatalf("doppler = %v Hz", got)
+	}
+}
+
+func TestAWGNPower(t *testing.T) {
+	rng := dsp.NewRand(1)
+	sig := make([]complex128, 100000)
+	AddAWGN(rng, sig, 2.0)
+	if got := dsp.SignalPower(sig); math.Abs(got-2) > 0.05 {
+		t.Fatalf("noise power = %v, want 2", got)
+	}
+}
+
+func TestSuperpose(t *testing.T) {
+	dst := make([]complex128, 5)
+	n := Superpose(dst, []complex128{1, 1, 1}, 3)
+	if n != 2 || dst[3] != 1 || dst[4] != 1 || dst[2] != 0 {
+		t.Fatalf("Superpose tail: n=%d dst=%v", n, dst)
+	}
+	dst = make([]complex128, 5)
+	n = Superpose(dst, []complex128{1, 1, 1}, -2)
+	if n != 1 || dst[0] != 1 || dst[1] != 0 {
+		t.Fatalf("Superpose negative offset: n=%d dst=%v", n, dst)
+	}
+}
+
+func TestLogDistanceMonotonic(t *testing.T) {
+	m := DefaultIndoor900MHz
+	prev := -1.0
+	for d := 1.0; d <= 50; d += 1 {
+		loss := m.LossDB(d, 0)
+		if loss <= prev {
+			t.Fatalf("loss not monotonic at %v m", d)
+		}
+		prev = loss
+	}
+	if m.LossDB(10, 2)-m.LossDB(10, 0) != 2*m.WallLossDB {
+		t.Fatal("wall loss not additive")
+	}
+	// Below the reference distance the loss is clamped.
+	if m.LossDB(0.1, 0) != m.LossDB(1, 0) {
+		t.Fatal("sub-reference distance not clamped")
+	}
+}
+
+func TestFreeSpaceRefLoss(t *testing.T) {
+	// ~31.5 dB at 1 m, 900 MHz.
+	got := FreeSpaceRefLossDB(900e6)
+	if math.Abs(got-31.5) > 0.3 {
+		t.Fatalf("free space ref loss = %v", got)
+	}
+}
+
+func TestLinkBudgetDirections(t *testing.T) {
+	b := DefaultLinkBudget
+	// Two-way loss makes the uplink far weaker than the downlink.
+	down := b.DownlinkRSSIdBm(10, 1)
+	up := b.UplinkRSSIdBm(10, 1, 0)
+	if up >= down {
+		t.Fatalf("uplink %v not weaker than downlink %v", up, down)
+	}
+	// Tag gain reduces the uplink 1:1.
+	if diff := b.UplinkRSSIdBm(10, 1, 0) - b.UplinkRSSIdBm(10, 1, -10); math.Abs(diff-10) > 1e-9 {
+		t.Fatalf("tag gain not 1:1: %v", diff)
+	}
+}
+
+func TestLinkBudgetAGCCap(t *testing.T) {
+	b := DefaultLinkBudget
+	snrNear := b.UplinkSNRdB(5, 0, 0, 500e3)
+	if snrNear > b.AGCCapDB+1e-9 {
+		t.Fatalf("AGC cap violated: %v", snrNear)
+	}
+	// Backing off power keeps the same headroom below the cap.
+	snrBack := b.UplinkSNRdB(5, 0, -10, 500e3)
+	if math.Abs(snrNear-snrBack-10) > 1e-9 {
+		t.Fatalf("cap does not preserve gain steps: %v vs %v", snrNear, snrBack)
+	}
+}
+
+func TestFadingMeanPowerAndCorrelation(t *testing.T) {
+	rng := dsp.NewRand(3)
+	fp := NewFadingProcess(10, 0.95, rng)
+	n := 200000
+	var pwr float64
+	for i := 0; i < n; i++ {
+		h := fp.Step()
+		pwr += real(h)*real(h) + imag(h)*imag(h)
+	}
+	if got := pwr / float64(n); math.Abs(got-1) > 0.1 {
+		t.Fatalf("mean channel power = %v, want ~1", got)
+	}
+}
+
+func TestSNRTraceVariance(t *testing.T) {
+	rng := dsp.NewRand(4)
+	trace := SNRTrace(10, 5000, 10, 0.98, rng)
+	mean := dsp.Mean(trace)
+	if math.Abs(mean-10) > 1.5 {
+		t.Fatalf("trace mean = %v", mean)
+	}
+	sd := dsp.StdDev(trace)
+	if sd < 0.3 || sd > 4 {
+		t.Fatalf("trace stddev = %v, want the Fig. 9 band (~1-3 dB)", sd)
+	}
+}
+
+func TestMultipathPreservesPower(t *testing.T) {
+	rng := dsp.NewRand(5)
+	sig := make([]complex128, 8192)
+	for i := range sig {
+		sig[i] = rng.ComplexNormal(1)
+	}
+	out := Multipath(sig, 500e3, 200e-9, 4, rng)
+	inP, outP := dsp.SignalPower(sig), dsp.SignalPower(out)
+	if math.Abs(outP/inP-1) > 0.15 {
+		t.Fatalf("multipath power ratio = %v", outP/inP)
+	}
+}
+
+func TestASKRoundTrip(t *testing.T) {
+	m := DefaultASK
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 32 {
+			data = data[:32]
+		}
+		bits := make([]byte, 0, len(data)*8)
+		for _, b := range data {
+			for i := 7; i >= 0; i-- {
+				bits = append(bits, (b>>uint(i))&1)
+			}
+		}
+		sig := m.Modulate(bits)
+		got, err := m.Demodulate(sig, len(bits))
+		return err == nil && bytes.Equal(got, bits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestASKWithNoise(t *testing.T) {
+	m := DefaultASK
+	rng := dsp.NewRand(6)
+	bits := rng.Bits(64)
+	sig := m.Modulate(bits)
+	// 10 dB SNR on the envelope.
+	for i := range sig {
+		sig[i] += rng.ComplexNormal(0.1)
+	}
+	got, err := m.Demodulate(sig, len(bits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bits) {
+		t.Fatal("ASK decode failed at 10 dB SNR")
+	}
+}
+
+func TestASKDemodulateShortSignal(t *testing.T) {
+	if _, err := DefaultASK.Demodulate(make([]complex128, 10), 64); err == nil {
+		t.Fatal("short signal accepted")
+	}
+}
+
+func TestASKDuration(t *testing.T) {
+	// The paper's Config 2 query: 1760 bits at 160 kbps = 11 ms.
+	if got := DefaultASK.Duration(1760); math.Abs(got-0.011) > 1e-9 {
+		t.Fatalf("1760-bit query duration = %v", got)
+	}
+}
+
+func TestEnvelopeDetector(t *testing.T) {
+	e := DefaultEnvelopeDetector
+	if _, ok := e.Detect(-48); !ok {
+		t.Error("-48 dBm should be detectable (sensitivity -49)")
+	}
+	if _, ok := e.Detect(-55); ok {
+		t.Error("-55 dBm should be below sensitivity")
+	}
+	e.GainErrorDB = 2
+	if got, _ := e.Detect(-40); got != -38 {
+		t.Errorf("gain error not applied: %v", got)
+	}
+}
+
+func TestOscillatorOffsets(t *testing.T) {
+	rng := dsp.NewRand(7)
+	// Backscatter: 3 MHz subcarrier, so offsets stay under ~150 Hz
+	// (Fig. 14a), ~90x smaller than the same crystal on a 900 MHz
+	// radio (§2.2).
+	for i := 0; i < 200; i++ {
+		bo := NewBackscatterOscillator(rng, 20, 50)
+		if math.Abs(bo.StaticOffsetHz()) > 150 {
+			t.Fatalf("backscatter offset %v Hz exceeds 150", bo.StaticOffsetHz())
+		}
+	}
+	ro := NewRadioOscillator(rng, 3, 7.5)
+	if ro.NominalHz != CarrierHz {
+		t.Fatal("radio oscillator not at carrier")
+	}
+}
+
+func TestShannonLinearRegime(t *testing.T) {
+	// Below the noise floor the exact capacity approaches the linear
+	// approximation (§3.1).
+	bw := 500e3
+	exact := MultiUserCapacity(bw, 10, 0.001, 1)
+	approx := MultiUserCapacityLinearApprox(bw, 10, 0.001, 1)
+	if r := exact / approx; r < 0.98 || r > 1 {
+		t.Fatalf("low-SNR ratio = %v", r)
+	}
+	// Well above the floor the approximation overshoots.
+	exact = MultiUserCapacity(bw, 100, 1, 1)
+	approx = MultiUserCapacityLinearApprox(bw, 100, 1, 1)
+	if approx < 2*exact {
+		t.Fatalf("high-SNR approximation should overshoot: %v vs %v", approx, exact)
+	}
+}

@@ -1,0 +1,18 @@
+package radio
+
+import "math"
+
+// MultiUserCapacity returns the Shannon capacity of an N-user multiple
+// access channel in bits/s: BW·log2(1 + N·Ps/Pn) (§3.1 of the paper,
+// citing Tse & Viswanath). Ps and Pn are linear signal and noise powers.
+func MultiUserCapacity(bwHz float64, n int, ps, pn float64) float64 {
+	return bwHz * math.Log2(1+float64(n)*ps/pn)
+}
+
+// MultiUserCapacityLinearApprox returns the paper's low-SNR
+// approximation BW/ln(2)·N·Ps/Pn, valid below the noise floor where
+// ln(1+x) ~ x. The gap between this and MultiUserCapacity quantifies how
+// "linear in N" the capacity really is at a given SNR.
+func MultiUserCapacityLinearApprox(bwHz float64, n int, ps, pn float64) float64 {
+	return bwHz / math.Ln2 * float64(n) * ps / pn
+}

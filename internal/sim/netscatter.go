@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"netscatter/internal/air"
+	"netscatter/internal/chirp"
+	"netscatter/internal/core"
+	"netscatter/internal/deploy"
+	"netscatter/internal/dsp"
+	"netscatter/internal/hw"
+	"netscatter/internal/mac"
+	"netscatter/internal/radio"
+)
+
+// Config parameterizes the sample-level NetScatter network simulation.
+type Config struct {
+	// Params is the chirp configuration (the paper deploys 500 kHz,
+	// SF 9).
+	Params chirp.Params
+	// Skip is the cyclic-shift spacing (2 in the deployment).
+	Skip int
+	// PayloadBytes per device per round (5 in §4.4).
+	PayloadBytes int
+	// Decoder tunes the receiver; zero value means
+	// core.DefaultDecoderConfig(Skip).
+	Decoder *core.DecoderConfig
+	// Timing is the on-air accounting.
+	Timing Timing
+	// Query selects Config1/Config2 overheads.
+	Query QueryConfig
+	// DisablePowerControl turns off the device-side power adaptation
+	// (for the ablation bench).
+	DisablePowerControl bool
+	// PowerAwareAllocation selects the §3.2.3 allocation; when false
+	// slots are assigned in arrival order (ablation).
+	PowerAwareAllocation bool
+	// Fading applies a per-round Ricean fading draw per device.
+	Fading bool
+	// DelayModel draws per-packet hardware delays.
+	DelayModel hw.DelayModel
+}
+
+// DefaultConfig returns the deployment configuration of §4.4.
+func DefaultConfig() Config {
+	return Config{
+		Params:               chirp.Default500k9,
+		Skip:                 2,
+		PayloadBytes:         5,
+		Timing:               DefaultTiming(),
+		Query:                Config1,
+		PowerAwareAllocation: true,
+		DelayModel:           hw.DefaultDelayModel,
+	}
+}
+
+// RoundStats aggregates one concurrent round.
+type RoundStats struct {
+	Devices       int // devices scheduled to transmit
+	Detected      int // devices whose preamble was found
+	FramesOK      int // devices with matching CRC and payload
+	BitErrors     int // payload bit errors across detected devices
+	TotalBits     int // payload bits transmitted by detected devices
+	ScheduledBits int // payload bits transmitted by all devices
+	RoundSecs     float64
+	PayloadSec    float64
+}
+
+// BER returns the payload bit error rate over detected devices.
+func (r RoundStats) BER() float64 {
+	if r.TotalBits == 0 {
+		return 0
+	}
+	return float64(r.BitErrors) / float64(r.TotalBits)
+}
+
+// GoodBits returns the correctly received payload bits across all
+// scheduled devices (bits of undetected devices count as lost).
+func (r RoundStats) GoodBits() int {
+	return r.TotalBits - r.BitErrors
+}
+
+// GoodFraction is GoodBits over everything scheduled.
+func (r RoundStats) GoodFraction() float64 {
+	if r.ScheduledBits == 0 {
+		return 0
+	}
+	return float64(r.GoodBits()) / float64(r.ScheduledBits)
+}
+
+// Network is a deployed NetScatter network ready to run rounds.
+type Network struct {
+	cfg     Config
+	dep     *deploy.Deployment
+	book    *core.CodeBook
+	decoder *core.Decoder
+	rng     *dsp.Rand
+
+	// per-device state, parallel to dep.Devices
+	slots  []int
+	gains  []float64
+	oscs   []radio.Oscillator
+	faders []*radio.FadingProcess
+}
+
+// NewNetwork associates the first maxDevices of a deployment: slots are
+// assigned with the power-aware allocator (strongest devices nearest
+// the anchor bin), and each device runs its association-time power rule.
+func NewNetwork(cfg Config, dep *deploy.Deployment, maxDevices int, seed int64) (*Network, error) {
+	if cfg.Skip < 1 {
+		return nil, fmt.Errorf("sim: invalid SKIP %d", cfg.Skip)
+	}
+	if maxDevices > len(dep.Devices) {
+		return nil, fmt.Errorf("sim: %d devices requested, deployment has %d", maxDevices, len(dep.Devices))
+	}
+	// Spread devices over the whole spectrum when slots outnumber them:
+	// with 128 of 256 devices the effective spacing is SKIP=4, matching
+	// the paper's observation that under 128 devices "the devices are
+	// separated by more than 2 cyclic shifts" (§4.4).
+	skip := cfg.Skip
+	if maxDevices > 0 {
+		if s := cfg.Params.N() / maxDevices; s > skip {
+			skip = s
+		}
+	}
+	if max := cfg.Params.N() / 2; skip > max {
+		skip = max
+	}
+	book, err := core.NewCodeBook(cfg.Params, skip)
+	if err != nil {
+		return nil, err
+	}
+	if maxDevices > book.Slots() {
+		return nil, fmt.Errorf("sim: %d devices exceed %d slots", maxDevices, book.Slots())
+	}
+	dcfg := core.DefaultDecoderConfig(skip)
+	if dcfg.GuardBins > 2 {
+		// Residual offsets never exceed ~2 bins (Fig. 14b); a wider
+		// search window would only admit neighbours.
+		dcfg.GuardBins = 2
+	}
+	if cfg.Decoder != nil {
+		dcfg = *cfg.Decoder
+	}
+	// The AP calibrates its noise floor on quiet intervals between
+	// rounds; in the normalized simulator that floor is exactly N per
+	// padded bin (unit noise over an N-sample window).
+	if dcfg.NoiseFloor == 0 {
+		dcfg.NoiseFloor = float64(cfg.Params.N())
+	}
+	n := &Network{
+		cfg:     cfg,
+		dep:     dep,
+		book:    book,
+		decoder: core.NewDecoder(book, dcfg),
+		rng:     dsp.NewRand(seed),
+		slots:   make([]int, maxDevices),
+		gains:   make([]float64, maxDevices),
+		oscs:    make([]radio.Oscillator, maxDevices),
+		faders:  make([]*radio.FadingProcess, maxDevices),
+	}
+
+	// Association-time power rule, then allocation on the resulting
+	// received strengths.
+	pcs := make([]*mac.PowerController, maxDevices)
+	effSNR := make([]float64, maxDevices)
+	for i := 0; i < maxDevices; i++ {
+		pcs[i] = mac.NewPowerController()
+		gain := 0.0
+		if !cfg.DisablePowerControl {
+			gain = pcs[i].AssociateGainDB(dep.Devices[i].DownlinkRSSIdBm)
+		}
+		n.gains[i] = gain
+		effSNR[i] = dep.Devices[i].UplinkSNRdB + gain
+		n.oscs[i] = radio.NewBackscatterOscillator(n.rng, 20, 50)
+		if cfg.Fading {
+			n.faders[i] = radio.NewFadingProcess(10, 0.97, n.rng.Fork())
+		}
+	}
+
+	if cfg.PowerAwareAllocation {
+		alloc := mac.NewDataOnlyAllocator(book)
+		ids := make([]uint8, maxDevices)
+		for i := range ids {
+			ids[i] = uint8(i)
+		}
+		assign := alloc.AssignAll(ids, effSNR)
+		for i := range ids {
+			n.slots[i] = assign[uint8(i)]
+		}
+	} else {
+		// Arrival-order (random) assignment for the ablation.
+		perm := n.rng.Perm(book.Slots())
+		for i := 0; i < maxDevices; i++ {
+			n.slots[i] = perm[i]
+		}
+	}
+	return n, nil
+}
+
+// Book exposes the code book.
+func (n *Network) Book() *core.CodeBook { return n.book }
+
+// SlotOf returns the slot of device i.
+func (n *Network) SlotOf(i int) int { return n.slots[i] }
+
+// GainOf returns the power gain of device i.
+func (n *Network) GainOf(i int) float64 { return n.gains[i] }
+
+// EffectiveSNRs returns the post-power-control SNRs of the first k
+// devices.
+func (n *Network) EffectiveSNRs(k int) []float64 {
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		out[i] = n.dep.Devices[i].UplinkSNRdB + n.gains[i]
+	}
+	return out
+}
+
+// RunRound executes one concurrent round with nDevices (the first
+// nDevices of the network) and returns its statistics.
+func (n *Network) RunRound(nDevices int) (RoundStats, error) {
+	if nDevices > len(n.slots) {
+		return RoundStats{}, fmt.Errorf("sim: round with %d devices, network has %d", nDevices, len(n.slots))
+	}
+	p := n.cfg.Params
+	payloadBits := n.cfg.PayloadBytes*8 + core.CRCBits
+	frameSymbols := core.PreambleSymbols + payloadBits
+
+	txs := make([]air.Transmission, 0, nDevices)
+	shifts := make([]int, nDevices)
+	payloads := make([][]byte, nDevices)
+	for i := 0; i < nDevices; i++ {
+		shifts[i] = n.book.ShiftOfSlot(n.slots[i])
+		payloads[i] = n.rng.Bytes(n.cfg.PayloadBytes)
+		enc := core.NewEncoder(p, shifts[i])
+		pl := payloads[i]
+		snr := n.dep.Devices[i].UplinkSNRdB + n.gains[i]
+		var fade complex128
+		if n.faders[i] != nil {
+			fade = n.faders[i].Step()
+		}
+		delay := n.cfg.DelayModel.Draw(n.rng) +
+			hw.PropagationDelaySec(n.dep.Devices[i].Pos.Distance(n.dep.Plan.AP))
+		txs = append(txs, air.Transmission{
+			Delayed: func(frac float64) []complex128 {
+				return enc.FrameWaveformDelayed(pl, frac)
+			},
+			SNRdB:        snr,
+			DelaySec:     delay,
+			FreqOffsetHz: n.oscs[i].PacketOffsetHz(n.rng),
+			FadeGain:     fade,
+		})
+	}
+
+	ch := air.NewChannel(p, n.rng)
+	sig := ch.Receive(ch.FrameLength(frameSymbols, 2), txs)
+	res, err := n.decoder.DecodeFrame(sig, 0, shifts, payloadBits)
+	if err != nil {
+		return RoundStats{}, err
+	}
+
+	stats := RoundStats{
+		Devices:       nDevices,
+		ScheduledBits: nDevices * payloadBits,
+		RoundSecs:     n.cfg.Timing.NetScatterRoundSeconds(p, n.cfg.Query, n.cfg.PayloadBytes),
+		PayloadSec:    float64(payloadBits) * p.SymbolPeriod(),
+	}
+	for i, dev := range res.Devices {
+		if !dev.Detected {
+			continue
+		}
+		stats.Detected++
+		stats.TotalBits += payloadBits
+		want := core.FrameBits(payloads[i])
+		for j := range want {
+			if dev.Bits[j] != want[j] {
+				stats.BitErrors++
+			}
+		}
+		if dev.CRCOK && equalBytes(dev.Payload, payloads[i]) {
+			stats.FramesOK++
+		}
+	}
+	return stats, nil
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SortDeploymentBySNR reorders a deployment's devices by descending
+// uplink SNR; useful for experiments that pick "the strongest k".
+func SortDeploymentBySNR(dep *deploy.Deployment) {
+	sort.SliceStable(dep.Devices, func(i, j int) bool {
+		return dep.Devices[i].UplinkSNRdB > dep.Devices[j].UplinkSNRdB
+	})
+}

@@ -1,0 +1,83 @@
+// Package sim runs end-to-end NetScatter network rounds at the sample
+// level and evaluates the comparison schemes of §4.4 (LoRa backscatter
+// with and without ideal rate adaptation), producing the network PHY
+// rate, link-layer rate and latency series of Figs. 17-19.
+package sim
+
+import (
+	"netscatter/internal/chirp"
+	"netscatter/internal/core"
+	"netscatter/internal/css"
+	"netscatter/internal/radio"
+)
+
+// Timing captures the on-air time accounting of §4.4.
+type Timing struct {
+	// Downlink is the AP's ASK modem (160 kbps).
+	Downlink radio.ASKModem
+}
+
+// DefaultTiming matches the paper's setup.
+func DefaultTiming() Timing {
+	return Timing{Downlink: radio.DefaultASK}
+}
+
+// QueryConfig selects the AP query size of §4.4.
+type QueryConfig int
+
+const (
+	// Config1: shifts were all assigned at association; the query
+	// coordinating concurrent transmissions is 32 bits.
+	Config1 QueryConfig = iota
+	// Config2: the query carries cyclic-shift assignments for every
+	// device, 1760 bits.
+	Config2
+)
+
+// QueryBits returns the downlink query length in bits.
+func (c QueryConfig) QueryBits() int {
+	if c == Config2 {
+		return 1760
+	}
+	return 32
+}
+
+// NetScatterRoundSeconds returns the duration of one concurrent round:
+// the AP query plus the shared frame (preamble + payload + CRC). All
+// devices pay these costs once, together.
+func (t Timing) NetScatterRoundSeconds(p chirp.Params, cfg QueryConfig, payloadBytes int) float64 {
+	query := t.Downlink.Duration(cfg.QueryBits())
+	frame := float64(core.FrameSymbols(payloadBytes)) * p.SymbolPeriod()
+	return query + frame
+}
+
+// LoRaQueryBits is the per-device query of the sequential LoRa
+// backscatter baseline (§4.4).
+const LoRaQueryBits = 28
+
+// LoRaDeviceSeconds returns the per-device service time of the TDMA
+// baseline: its own query, its own preamble (8 chirp symbols at the
+// chosen configuration) and its payload+CRC at the given bitrate.
+func (t Timing) LoRaDeviceSeconds(p chirp.Params, bitrate float64, payloadBytes int) float64 {
+	query := t.Downlink.Duration(LoRaQueryBits)
+	preamble := float64(core.PreambleSymbols) * p.SymbolPeriod()
+	payload := float64(payloadBytes*8+core.CRCBits) / bitrate
+	return query + preamble + payload
+}
+
+// FixedLoRaBitrate is the no-rate-adaptation baseline's bitrate
+// (8.7 kbps ~ SF 9 at 500 kHz, §4.4).
+const FixedLoRaBitrate = 8.7e3
+
+// RateForSNR returns the ideal rate-adaptation choice for a device SNR,
+// falling back to the slowest option when even it does not fit.
+func RateForSNR(snrDB float64, bw float64) css.RateOption {
+	opts := css.RateTable(bw)
+	if best, ok := css.BestRate(snrDB, opts); ok {
+		return best
+	}
+	// Out of range: the device is served at the most robust setting
+	// (it may still fail; the paper's deployment had all devices in
+	// range).
+	return opts[len(opts)-1]
+}
