@@ -92,6 +92,18 @@ func BenchmarkDecoderScaling(b *testing.B) {
 			}
 		})
 	}
+	// The parallel pipeline on the same frame: spectra fan out over
+	// GOMAXPROCS workers with bit-identical output.
+	shifts := book.AllShifts()
+	b.Run("candidates=256/parallel", func(b *testing.B) {
+		dec := core.NewParallelDecoder(book, core.DefaultDecoderConfig(2), 0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dec.DecodeFrame(sig, 0, shifts, bits); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- ablation: SKIP spacing vs decode reliability (§3.2.1) ---
@@ -301,6 +313,22 @@ func BenchmarkFFT4096(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		plan.Forward(buf)
+	}
+}
+
+func BenchmarkFFT4096Pruned(b *testing.B) {
+	// The receiver's actual transform: 512 nonzero dechirped samples
+	// zero-padded 8x, with the early stages pruned away.
+	plan := dsp.Plan(4096)
+	buf := make([]complex128, 4096)
+	rng := dsp.NewRand(1)
+	for i := 0; i < 512; i++ {
+		buf[i] = rng.ComplexNormal(1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.ForwardPruned(buf, 512)
 	}
 }
 

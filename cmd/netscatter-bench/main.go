@@ -1,0 +1,223 @@
+// Command netscatter-bench runs the repository's key performance
+// benchmarks — decoder scaling, the per-symbol spectrum, the padded FFT
+// (full and pruned) and a 64-device network round — and writes the
+// results as machine-readable JSON (BENCH_<tag>.json), so successive
+// PRs accumulate a perf trajectory that can be diffed mechanically.
+//
+// Usage:
+//
+//	go run ./cmd/netscatter-bench -tag PR1 [-out .] [-benchtime 1s]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"netscatter/internal/air"
+	"netscatter/internal/chirp"
+	"netscatter/internal/core"
+	"netscatter/internal/deploy"
+	"netscatter/internal/dsp"
+	"netscatter/internal/radio"
+	"netscatter/internal/sim"
+)
+
+// Result is one benchmark's outcome.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the whole run.
+type Report struct {
+	Tag        string   `json:"tag"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Timestamp  string   `json:"timestamp"`
+	Results    []Result `json:"results"`
+}
+
+func main() {
+	testing.Init() // registers test.benchtime before we set it
+	tag := flag.String("tag", "local", "report tag; output file is BENCH_<tag>.json")
+	out := flag.String("out", ".", "output directory")
+	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark target duration")
+	flag.Parse()
+
+	// testing.Benchmark honors the package-level benchtime flag.
+	if err := flag.CommandLine.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
+		fmt.Fprintf(os.Stderr, "netscatter-bench: set benchtime: %v\n", err)
+		os.Exit(1)
+	}
+
+	report := Report{
+		Tag:        *tag,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+
+	for _, bm := range benchmarks() {
+		fmt.Printf("%-44s", bm.name)
+		r := testing.Benchmark(bm.fn)
+		res := Result{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		report.Results = append(report.Results, res)
+		fmt.Printf("%14.0f ns/op %8d allocs/op\n", res.NsPerOp, res.AllocsPerOp)
+	}
+
+	path := filepath.Join(*out, fmt.Sprintf("BENCH_%s.json", *tag))
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netscatter-bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "netscatter-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+type namedBench struct {
+	name string
+	fn   func(*testing.B)
+}
+
+// benchmarks mirrors the key cases of the repository benchmark suite
+// (bench_test.go) so the JSON trajectory tracks the same hot paths the
+// test suite guards.
+func benchmarks() []namedBench {
+	p := chirp.Default500k9
+	book, err := core.NewCodeBook(p, 2)
+	if err != nil {
+		panic(err)
+	}
+	rng := dsp.NewRand(1)
+	payload := []byte{1, 2, 3, 4, 5}
+	bits := len(payload)*8 + core.CRCBits
+	var txs []air.Transmission
+	for i := 0; i < 64; i++ {
+		enc := core.NewEncoder(p, book.ShiftOfSlot(i))
+		txs = append(txs, air.Transmission{Waveform: enc.FrameWaveform(payload), SNRdB: 8})
+	}
+	ch := air.NewChannel(p, rng)
+	sig := ch.Receive(ch.FrameLength(core.PreambleSymbols+bits, 2), txs)
+
+	var bms []namedBench
+	for _, candidates := range []int{1, 64, 256} {
+		shifts := book.AllShifts()[:candidates]
+		bms = append(bms, namedBench{
+			name: fmt.Sprintf("DecoderScaling/candidates=%d", candidates),
+			fn: func(b *testing.B) {
+				dec := core.NewDecoder(book, core.DefaultDecoderConfig(2))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := dec.DecodeFrame(sig, 0, shifts, bits); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		})
+	}
+	bms = append(bms, namedBench{
+		name: "DecoderScaling/candidates=256/parallel",
+		fn: func(b *testing.B) {
+			dec := core.NewParallelDecoder(book, core.DefaultDecoderConfig(2), 0)
+			shifts := book.AllShifts()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dec.DecodeFrame(sig, 0, shifts, bits); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+
+	bms = append(bms, namedBench{
+		name: "SymbolSpectrum",
+		fn: func(b *testing.B) {
+			dem := chirp.NewDemodulator(p, 8)
+			mod := chirp.NewModulator(p)
+			sym := mod.Symbol(37)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dem.Spectrum(sym)
+			}
+		},
+	})
+
+	bms = append(bms, namedBench{
+		name: "FFT4096",
+		fn: func(b *testing.B) {
+			plan := dsp.Plan(4096)
+			buf := make([]complex128, 4096)
+			r := dsp.NewRand(1)
+			for i := range buf {
+				buf[i] = r.ComplexNormal(1)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan.Forward(buf)
+			}
+		},
+	})
+	bms = append(bms, namedBench{
+		name: "FFT4096Pruned",
+		fn: func(b *testing.B) {
+			plan := dsp.Plan(4096)
+			buf := make([]complex128, 4096)
+			r := dsp.NewRand(1)
+			for i := 0; i < 512; i++ {
+				buf[i] = r.ComplexNormal(1)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan.ForwardPruned(buf, 512)
+			}
+		},
+	})
+
+	bms = append(bms, namedBench{
+		name: "NetworkRound64",
+		fn: func(b *testing.B) {
+			r := dsp.NewRand(9)
+			dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, 64, 500e3, r)
+			cfg := sim.DefaultConfig()
+			net, err := sim.NewNetwork(cfg, dep, 64, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := net.RunRound(64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+	return bms
+}

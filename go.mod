@@ -1,0 +1,3 @@
+module netscatter
+
+go 1.24

@@ -13,6 +13,7 @@ import (
 
 	"netscatter/internal/chirp"
 	"netscatter/internal/dsp"
+	"netscatter/internal/pool"
 	"netscatter/internal/radio"
 )
 
@@ -68,28 +69,24 @@ func NewChannel(p chirp.Params, rng *dsp.Rand) *Channel {
 // plus a windowed-sinc fractional delay, so timing offsets behave
 // physically for both upchirps and downchirps), given a random carrier
 // phase, and superposed. Thermal noise is added last.
+//
+// Per-device waveform synthesis — the dominant cost with hundreds of
+// concurrent analytically-delayed frames — runs on the shared worker
+// pool. Determinism is preserved exactly: carrier phases are drawn from
+// the channel Rng in transmission order before the fan-out (the same
+// sequence the serial loop consumed), synthesis itself draws no
+// randomness, and superposition and noise stay serial in the original
+// order, so Receive's output is bit-identical for a given seed at any
+// GOMAXPROCS.
 func (c *Channel) Receive(length int, txs []Transmission) []complex128 {
 	out := make([]complex128, length)
 	fs := c.Params.SampleRate()
-	for _, tx := range txs {
-		delaySamples := tx.DelaySec * fs
-		intDelay := int(math.Floor(delaySamples))
-		fracSamples := delaySamples - float64(intDelay)
 
-		var buf []complex128
-		switch {
-		case tx.Delayed != nil:
-			buf = tx.Delayed(fracSamples)
-		case fracSamples > 1e-9 && len(tx.Waveform) > 0:
-			buf = dsp.FractionalDelay(tx.Waveform, fracSamples)
-		case len(tx.Waveform) > 0:
-			buf = make([]complex128, len(tx.Waveform))
-			copy(buf, tx.Waveform)
-		default:
-			continue
+	gains := make([]complex128, len(txs))
+	for i, tx := range txs {
+		if tx.Delayed == nil && len(tx.Waveform) == 0 {
+			continue // no waveform: consumes no randomness, as before
 		}
-		chirp.ApplyFreqOffset(buf, tx.FreqOffsetHz, fs)
-
 		gain := complex(radio.AmplitudeForSNRdB(tx.SNRdB), 0)
 		if tx.FadeGain != 0 {
 			gain *= tx.FadeGain
@@ -97,10 +94,54 @@ func (c *Channel) Receive(length int, txs []Transmission) []complex128 {
 		if !tx.FixedPhase && c.Rng != nil {
 			gain *= c.Rng.UniformPhase()
 		}
-		for i := range buf {
-			buf[i] *= gain
+		gains[i] = gain
+	}
+
+	// Synthesize in bounded chunks: a chunk's waveforms are built in
+	// parallel, then superposed serially in transmission order before
+	// the next chunk starts, so peak memory stays O(chunk) frames
+	// instead of O(devices) while the sample-level output is identical.
+	chunk := pool.Size() * 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	bufs := make([][]complex128, min(chunk, len(txs)))
+	delays := make([]int, len(bufs))
+	for lo := 0; lo < len(txs); lo += chunk {
+		hi := min(lo+chunk, len(txs))
+		pool.ForEach(hi-lo, func(k int) {
+			tx := &txs[lo+k]
+			delaySamples := tx.DelaySec * fs
+			intDelay := int(math.Floor(delaySamples))
+			fracSamples := delaySamples - float64(intDelay)
+			delays[k] = intDelay
+
+			var buf []complex128
+			switch {
+			case tx.Delayed != nil:
+				buf = tx.Delayed(fracSamples)
+			case fracSamples > 1e-9 && len(tx.Waveform) > 0:
+				buf = dsp.FractionalDelay(tx.Waveform, fracSamples)
+			case len(tx.Waveform) > 0:
+				buf = make([]complex128, len(tx.Waveform))
+				copy(buf, tx.Waveform)
+			default:
+				bufs[k] = nil
+				return
+			}
+			chirp.ApplyFreqOffset(buf, tx.FreqOffsetHz, fs)
+			gain := gains[lo+k]
+			for j := range buf {
+				buf[j] *= gain
+			}
+			bufs[k] = buf
+		})
+		for k := 0; k < hi-lo; k++ {
+			if bufs[k] != nil {
+				radio.Superpose(out, bufs[k], delays[k])
+				bufs[k] = nil
+			}
 		}
-		radio.Superpose(out, buf, intDelay)
 	}
 	if c.NoisePower > 0 && c.Rng != nil {
 		radio.AddAWGN(c.Rng, out, c.NoisePower)

@@ -80,9 +80,14 @@ func (m *Modulator) AppendSilence(dst []complex128) []complex128 {
 // zero-padded sub-bin resolution. All scratch buffers are preallocated so
 // the per-symbol hot path does not allocate (the receiver performs this
 // once per symbol regardless of how many devices transmit — the paper's
-// constant-receiver-complexity claim).
+// constant-receiver-complexity claim). The forward transform runs through
+// dsp.FFTPlan.ForwardPruned: only the first N of the ZeroPad·N padded
+// samples are nonzero, so the early butterfly stages collapse and the
+// zero tail is never even written.
 //
-// A Demodulator is not safe for concurrent use; create one per goroutine.
+// A Demodulator is not safe for concurrent use; create one per goroutine
+// (plans are shared and read-only, so per-goroutine demodulators are
+// cheap).
 type Demodulator struct {
 	p       Params
 	zeroPad int
@@ -91,6 +96,11 @@ type Demodulator struct {
 	padBuf  []complex128
 	power   []float64
 	plan    *dsp.FFTPlan
+
+	// arena backs the batched Spectra API: nSyms contiguous power
+	// spectra handed out as sub-slices, reused across calls.
+	arena     []float64
+	arenaOuts [][]float64
 }
 
 // NewDemodulator builds a demodulator with the given zero-padding factor
@@ -131,29 +141,66 @@ func (d *Demodulator) PaddedBins() int { return len(d.padBuf) }
 // downchirp, zero-pads, and returns the power spectrum. The returned
 // slice aliases an internal buffer valid until the next call.
 func (d *Demodulator) Spectrum(sym []complex128) []float64 {
-	return d.spectrum(sym, d.down)
+	return d.spectrum(d.power, sym, d.down)
+}
+
+// SpectrumInto is Spectrum writing the power spectrum into dst, which
+// must have length PaddedBins(). It lets callers own the storage — the
+// concurrent decoder's workers compute many spectra into one shared
+// arena without copies.
+func (d *Demodulator) SpectrumInto(dst []float64, sym []complex128) {
+	if len(dst) != len(d.padBuf) {
+		panic(fmt.Sprintf("chirp: spectrum dst length %d, want %d", len(dst), len(d.padBuf)))
+	}
+	d.spectrum(dst, sym, d.down)
 }
 
 // SpectrumDown de-spreads against the baseline *upchirp* instead, which
 // turns received downchirps into tones. The packet-start estimator uses
 // this on the two preamble downchirps.
 func (d *Demodulator) SpectrumDown(sym []complex128) []float64 {
-	return d.spectrum(sym, d.up)
+	return d.spectrum(d.power, sym, d.up)
 }
 
-func (d *Demodulator) spectrum(sym []complex128, ref []complex128) []float64 {
+// Spectra computes the power spectra of nSyms consecutive symbols of sig
+// beginning at sample index start, returning one PaddedBins()-long slice
+// per symbol. All spectra live in a single reused arena, valid until the
+// next Spectra call; Spectrum/SpectrumDown use separate storage and do
+// not invalidate them.
+func (d *Demodulator) Spectra(sig []complex128, start, nSyms int) [][]float64 {
+	n := d.p.N()
+	if start < 0 || start+nSyms*n > len(sig) {
+		panic(fmt.Sprintf("chirp: Spectra window [%d, %d) outside signal of %d samples",
+			start, start+nSyms*n, len(sig)))
+	}
+	m := len(d.padBuf)
+	if cap(d.arena) < nSyms*m {
+		d.arena = make([]float64, nSyms*m)
+		d.arenaOuts = make([][]float64, 0, nSyms)
+	}
+	d.arena = d.arena[:nSyms*m]
+	d.arenaOuts = d.arenaOuts[:0]
+	for s := 0; s < nSyms; s++ {
+		dst := d.arena[s*m : (s+1)*m]
+		d.spectrum(dst, sig[start+s*n:start+(s+1)*n], d.down)
+		d.arenaOuts = append(d.arenaOuts, dst)
+	}
+	return d.arenaOuts
+}
+
+func (d *Demodulator) spectrum(dst []float64, sym []complex128, ref []complex128) []float64 {
 	n := d.p.N()
 	if len(sym) != n {
 		panic(fmt.Sprintf("chirp: symbol length %d, want %d", len(sym), n))
 	}
+	// Fused dechirp: the product lands directly in the transform buffer's
+	// nonzero prefix; the padded tail is never touched (ForwardPruned
+	// ignores it).
 	for i := 0; i < n; i++ {
 		d.padBuf[i] = sym[i] * ref[i]
 	}
-	for i := n; i < len(d.padBuf); i++ {
-		d.padBuf[i] = 0
-	}
-	d.plan.Forward(d.padBuf)
-	return dsp.PowerSpectrum(d.power, d.padBuf)
+	d.plan.ForwardPruned(d.padBuf, n)
+	return dsp.PowerSpectrum(dst, d.padBuf)
 }
 
 // BinOf converts a padded-spectrum index to a (possibly fractional)
@@ -203,6 +250,57 @@ func (d *Demodulator) PeakFrac(sym []complex128) (fracBin float64, power float64
 func PeakNear(d *Demodulator, spec []float64, bin int, halfBins float64) (power float64, at float64) {
 	center := d.PaddedIndexOf(bin)
 	half := int(halfBins * float64(d.zeroPad))
-	idx, pw := dsp.MaxInWindow(spec, center, half)
+	idx, pw := windowMax(spec, center, half)
 	return pw, d.BinOf(idx)
+}
+
+// ScanPeaks locates, for every candidate cyclic shift, the strongest peak
+// within ±halfBins chirp bins of its assigned bin — the whole candidate
+// set against one shared spectrum in a single pass. outPow[i] receives
+// the peak power and outAt[i] (when non-nil) the fractional chirp bin of
+// the peak. The inner window loops index the spectrum directly, wrapping
+// only at the circular boundary, unlike a per-element modulo walk.
+func (d *Demodulator) ScanPeaks(spec []float64, shifts []int, halfBins float64, outPow, outAt []float64) {
+	half := int(halfBins * float64(d.zeroPad))
+	for i, s := range shifts {
+		center := d.PaddedIndexOf(s)
+		idx, pw := windowMax(spec, center, half)
+		outPow[i] = pw
+		if outAt != nil {
+			outAt[i] = d.BinOf(idx)
+		}
+	}
+}
+
+// ScanPaddedCenters writes into outPow[i] the maximum power within ±half
+// padded bins of centers[i] (a padded-spectrum index). A negative center
+// skips that slot, leaving outPow[i] untouched — the payload tracker uses
+// this to scan only detected candidates.
+func ScanPaddedCenters(spec []float64, centers []int, half int, outPow []float64) {
+	for i, c := range centers {
+		if c < 0 {
+			continue
+		}
+		_, pw := windowMax(spec, c, half)
+		outPow[i] = pw
+	}
+}
+
+// windowMax returns the index and value of the largest element in the
+// circular window [center-half, center+half] of spec. Windows that do
+// not straddle the boundary — the overwhelmingly common case — run as a
+// single direct slice scan.
+func windowMax(spec []float64, center, half int) (idx int, val float64) {
+	n := len(spec)
+	lo, hi := center-half, center+half
+	if lo >= 0 && hi < n {
+		idx, val = lo, spec[lo]
+		for i := lo + 1; i <= hi; i++ {
+			if spec[i] > val {
+				idx, val = i, spec[i]
+			}
+		}
+		return idx, val
+	}
+	return dsp.MaxInWindow(spec, center, half)
 }

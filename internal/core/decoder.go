@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"netscatter/internal/chirp"
 	"netscatter/internal/dsp"
@@ -128,23 +127,42 @@ func (f *FrameDecode) DetectedCount() int {
 }
 
 // Decoder decodes concurrent NetScatter transmissions. One dechirp and
-// one (zero-padded) FFT are performed per symbol; every candidate device
-// is then read off the shared spectrum. Not safe for concurrent use.
+// one (zero-padded, pruned) FFT are performed per symbol; every candidate
+// device is then read off the shared spectrum. Not safe for concurrent
+// use.
+//
+// The decoder is steady-state allocation-free: every buffer — including
+// the returned FrameDecode, its Devices, Bits and Payload slices — lives
+// in arenas that grow to the high-water mark of (candidates,
+// payloadBits) and are reused afterwards. A DecodeFrame result is
+// therefore only valid until the next DecodeFrame call on the same
+// decoder; callers that keep payloads must copy them.
 type Decoder struct {
 	book *CodeBook
 	dem  *chirp.Demodulator
 	cfg  DecoderConfig
 
 	// per-candidate accumulators, reused across calls
-	minPower []float64
-	sumPower []float64
-	sumWBin  []float64
-	present  []int
-	quantBuf []float64
-	// preSpec caches the six preamble spectra so detection thresholds
-	// (which need the noise estimate from all six) are applied without
-	// recomputing FFTs.
-	preSpec [PreambleUpSymbols][]float64
+	sumPower  []float64
+	sumWBin   []float64
+	present   []int
+	scanPow   []float64
+	scanAt    []float64
+	payCenter []int // padded payload search center per candidate; -1 = not detected
+	quantBuf  []float64
+
+	// noisePerSym holds each preamble symbol's noise-floor estimate;
+	// keeping them in per-symbol slots (instead of a running sum) lets
+	// the parallel decoder fill them from workers and still reduce in a
+	// fixed order, bit-identical to the serial path.
+	noisePerSym [PreambleUpSymbols]float64
+
+	// result arenas, reused across calls
+	res     FrameDecode
+	devices []DeviceDecode
+	powers  []float64 // candidate-major [cand][sym] payload peak powers
+	bits    []byte    // candidate-major payload bit storage
+	payload []byte    // candidate-major CRC-stripped payload bytes
 }
 
 // NewDecoder builds a decoder over a code book.
@@ -168,128 +186,182 @@ func (d *Decoder) Demodulator() *chirp.Demodulator { return d.dem }
 
 // DecodeFrame decodes a frame of payloadBits OOK symbols starting at
 // sample index start for the given candidate shifts. The signal must
-// contain the full frame (PreambleSymbols + payloadBits symbols).
+// contain the full frame (PreambleSymbols + payloadBits symbols). The
+// returned FrameDecode aliases decoder-owned storage and is valid until
+// the next DecodeFrame call.
 func (d *Decoder) DecodeFrame(sig []complex128, start int, shifts []int, payloadBits int) (*FrameDecode, error) {
-	p := d.book.Params()
-	n := p.N()
+	if err := d.begin(sig, start, shifts, payloadBits); err != nil {
+		return nil, err
+	}
+	n := d.book.Params().N()
+
+	// Pass 1: preamble upchirps — one spectrum per symbol into the
+	// demodulator's arena, per-symbol noise quantiles, then candidate
+	// statistics and detection.
+	specs := d.dem.Spectra(sig, start, PreambleUpSymbols)
+	for sym, spec := range specs {
+		if d.cfg.NoiseFloor > 0 {
+			d.noisePerSym[sym] = d.cfg.NoiseFloor
+		} else {
+			d.noisePerSym[sym], d.quantBuf = noiseQuantile(d.quantBuf, spec)
+		}
+	}
+	noise := d.reduceNoise()
+	d.accumPreamble(specs, shifts, noise)
+
+	// Pass 2: payload symbols. The two preamble downchirps are skipped —
+	// they exist for packet-start estimation (sync.go). Peak powers are
+	// collected first; thresholds are applied per device afterwards.
+	d.preparePayload(payloadBits)
+	payloadStart := start + PreambleSymbols*n
+	halfIdx := d.trackHalf()
+	for sym := 0; sym < payloadBits; sym++ {
+		spec := d.dem.Spectrum(sig[payloadStart+sym*n : payloadStart+(sym+1)*n])
+		chirp.ScanPaddedCenters(spec, d.payCenter, halfIdx, d.scanPow)
+		for i := range shifts {
+			if d.payCenter[i] >= 0 {
+				d.powers[i*payloadBits+sym] = d.scanPow[i]
+			}
+		}
+	}
+
+	d.finish(noise, payloadBits)
+	d.rejectGhosts(d.devices)
+	return &d.res, nil
+}
+
+// begin validates the request and prepares (grows, resets) every arena
+// for a frame of len(shifts) candidates and payloadBits payload symbols.
+func (d *Decoder) begin(sig []complex128, start int, shifts []int, payloadBits int) error {
+	n := d.book.Params().N()
 	total := (PreambleSymbols + payloadBits) * n
 	if start < 0 || start+total > len(sig) {
-		return nil, fmt.Errorf("core: frame [%d, %d) outside signal of %d samples", start, start+total, len(sig))
+		return fmt.Errorf("core: frame [%d, %d) outside signal of %d samples", start, start+total, len(sig))
 	}
-	res := &FrameDecode{Start: start}
-	res.Devices = make([]DeviceDecode, len(shifts))
+	d.grow(len(shifts), payloadBits)
 	for i, s := range shifts {
-		res.Devices[i] = DeviceDecode{Shift: s}
-	}
-	d.grow(len(shifts))
-
-	// Pass 1: preamble upchirps. One spectrum per symbol; accumulate
-	// per-candidate peak statistics.
-	for i := range shifts {
-		d.minPower[i] = math.Inf(1)
+		d.devices[i] = DeviceDecode{Shift: s}
 		d.sumPower[i] = 0
 		d.sumWBin[i] = 0
 		d.present[i] = 0
 	}
-	var noiseEst float64
-	for sym := 0; sym < PreambleUpSymbols; sym++ {
-		win := sig[start+sym*n : start+(sym+1)*n]
-		spec := d.dem.Spectrum(win)
-		res.FFTs++
-		if cap(d.preSpec[sym]) < len(spec) {
-			d.preSpec[sym] = make([]float64, len(spec))
-		}
-		d.preSpec[sym] = d.preSpec[sym][:len(spec)]
-		copy(d.preSpec[sym], spec)
-		if d.cfg.NoiseFloor > 0 {
-			noiseEst += d.cfg.NoiseFloor
-		} else {
-			noiseEst += d.estimateNoiseBin(spec)
-		}
+	d.res = FrameDecode{
+		Start:   start,
+		Devices: d.devices,
+		// One dechirped FFT per preamble upchirp and per payload symbol,
+		// independent of the candidate count (§3.1).
+		FFTs: PreambleUpSymbols + payloadBits,
+	}
+	return nil
+}
+
+// accumPreamble folds the preamble spectra into per-candidate peak
+// statistics and applies the detection rule. One ScanPeaks pass per
+// symbol serves both the power accumulation and the per-symbol presence
+// test (the noise estimate is already known), where the previous decoder
+// walked every candidate window twice.
+func (d *Decoder) accumPreamble(specs [][]float64, shifts []int, noise float64) {
+	p := d.book.Params()
+	presentBar := d.cfg.PresentFactor * noise
+	for _, spec := range specs {
+		d.dem.ScanPeaks(spec, shifts, d.cfg.GuardBins, d.scanPow, d.scanAt)
 		for i, s := range shifts {
-			pw, at := chirp.PeakNear(d.dem, spec, s, d.cfg.GuardBins)
-			if pw < d.minPower[i] {
-				d.minPower[i] = pw
-			}
+			pw := d.scanPow[i]
 			d.sumPower[i] += pw
 			// Accumulate the peak location weighted by power, unwrapped
 			// around the assigned bin so averaging works across the
 			// circular boundary.
-			rel := dsp.WrapFrac(at-float64(s), p.N())
+			rel := dsp.WrapFrac(d.scanAt[i]-float64(s), p.N())
 			d.sumWBin[i] += pw * rel
-		}
-	}
-	noiseEst /= PreambleUpSymbols
-	res.NoiseBinPower = noiseEst
-
-	// Per-symbol presence bar against the cached preamble spectra.
-	for sym := 0; sym < PreambleUpSymbols; sym++ {
-		spec := d.preSpec[sym]
-		for i, s := range shifts {
-			pw, _ := chirp.PeakNear(d.dem, spec, s, d.cfg.GuardBins)
-			if pw > d.cfg.PresentFactor*noiseEst {
+			if pw > presentBar {
 				d.present[i]++
 			}
 		}
 	}
-
 	for i := range shifts {
-		dev := &res.Devices[i]
+		dev := &d.devices[i]
 		dev.MeanPeakPower = d.sumPower[i] / PreambleUpSymbols
 		rel := 0.0
 		if d.sumPower[i] > 0 {
 			rel = d.sumWBin[i] / d.sumPower[i]
 		}
 		dev.ObservedBin = float64(dev.Shift) + rel
-		dev.Detected = dev.MeanPeakPower > d.cfg.DetectFactor*noiseEst &&
+		dev.Detected = dev.MeanPeakPower > d.cfg.DetectFactor*noise &&
 			d.present[i] >= d.cfg.MinPresent
 	}
+	d.res.NoiseBinPower = noise
+}
 
-	// Pass 2: payload symbols. The two preamble downchirps are skipped —
-	// they exist for packet-start estimation (sync.go). Peak powers are
-	// collected first; thresholds are applied per device afterwards.
-	payloadStart := start + PreambleSymbols*n
-	powers := make([][]float64, len(shifts))
-	for i := range shifts {
-		if res.Devices[i].Detected {
-			res.Devices[i].Bits = make([]byte, payloadBits)
-			powers[i] = make([]float64, payloadBits)
+// preparePayload computes each detected candidate's padded-spectrum
+// search center (undetected slots get -1 and are skipped by the scan)
+// and hands out Bits storage from the bit arena.
+func (d *Decoder) preparePayload(payloadBits int) {
+	zp := d.dem.ZeroPad()
+	bins := d.dem.PaddedBins()
+	for i := range d.devices {
+		dev := &d.devices[i]
+		if !dev.Detected {
+			d.payCenter[i] = -1
+			continue
 		}
+		d.payCenter[i] = dsp.WrapIndex(int(math.Round(dev.ObservedBin*float64(zp))), bins)
+		bits := d.bits[i*payloadBits : (i+1)*payloadBits]
+		clear(bits)
+		dev.Bits = bits
 	}
-	for sym := 0; sym < payloadBits; sym++ {
-		win := sig[payloadStart+sym*n : payloadStart+(sym+1)*n]
-		spec := d.dem.Spectrum(win)
-		res.FFTs++
-		for i := range shifts {
-			dev := &res.Devices[i]
-			if !dev.Detected {
-				continue
-			}
-			powers[i][sym] = d.peakNearFrac(spec, dev.ObservedBin, d.cfg.TrackBins)
-		}
-	}
+}
 
-	for i := range shifts {
-		dev := &res.Devices[i]
+// trackHalf is the payload search half-width in padded bins.
+func (d *Decoder) trackHalf() int {
+	return int(d.cfg.TrackBins * float64(d.dem.ZeroPad()))
+}
+
+// finish applies each detected device's OOK threshold to its collected
+// payload peak powers and checks the CRC, decoding payload bytes into
+// the payload arena.
+func (d *Decoder) finish(noise float64, payloadBits int) {
+	nBytes := payloadByteCount(payloadBits)
+	for i := range d.devices {
+		dev := &d.devices[i]
 		if !dev.Detected {
 			continue
 		}
 		thr := dev.MeanPeakPower * d.cfg.OOKFactor
-		if guard := d.cfg.OOKNoiseGuard * noiseEst; thr < guard {
+		if guard := d.cfg.OOKNoiseGuard * noise; thr < guard {
 			thr = guard
 		}
-		for sym, pw := range powers[i] {
+		row := d.powers[i*payloadBits : (i+1)*payloadBits]
+		for sym, pw := range row {
 			if pw > thr {
 				dev.Bits[sym] = 1
 			}
 		}
-		if payload, ok := CheckFrameBits(dev.Bits); ok {
-			dev.Payload = payload
-			dev.CRCOK = true
+		if nBytes >= 0 {
+			dst := d.payload[i*nBytes : (i+1)*nBytes]
+			if CheckFrameBitsInto(dst, dev.Bits) {
+				dev.Payload = dst
+				dev.CRCOK = true
+			}
 		}
 	}
-	d.rejectGhosts(res.Devices)
-	return res, nil
+}
+
+// payloadByteCount returns the CRC-stripped byte count of a payload
+// section, or -1 when the bit count cannot carry a framed payload.
+func payloadByteCount(payloadBits int) int {
+	if payloadBits < CRCBits || (payloadBits-CRCBits)%8 != 0 {
+		return -1
+	}
+	return (payloadBits - CRCBits) / 8
+}
+
+// reduceNoise averages the per-symbol noise estimates in symbol order.
+func (d *Decoder) reduceNoise() float64 {
+	var sum float64
+	for _, v := range d.noisePerSym {
+		sum += v
+	}
+	return sum / PreambleUpSymbols
 }
 
 // rejectGhosts demotes side-lobe replicas: detected candidates whose
@@ -331,41 +403,49 @@ func (d *Decoder) rejectGhosts(devs []DeviceDecode) {
 	}
 }
 
-// peakNearFrac returns the max power within ±half bins of a fractional
-// bin center.
-func (d *Decoder) peakNearFrac(spec []float64, centerBin, half float64) float64 {
-	zp := d.dem.ZeroPad()
-	center := int(math.Round(centerBin * float64(zp)))
-	halfIdx := int(half * float64(zp))
-	_, pw := dsp.MaxInWindow(spec, dsp.WrapIndex(center, len(spec)), halfIdx)
-	return pw
-}
-
-// estimateNoiseBin estimates the mean noise power per padded FFT bin
-// from the lower quartile of the spectrum. For complex Gaussian noise,
-// bin powers are exponential with mean m and 25th percentile
+// noiseQuantile estimates the mean noise power per padded FFT bin from
+// the lower quartile of a spectrum, using buf as scratch (grown and
+// returned so callers can keep it). For complex Gaussian noise, bin
+// powers are exponential with mean m and 25th percentile
 // m·ln(4/3) ≈ 0.2877·m; the lower quartile is robust against the
-// minority of bins occupied by device peaks and side lobes.
-func (d *Decoder) estimateNoiseBin(spec []float64) float64 {
-	if cap(d.quantBuf) < len(spec) {
-		d.quantBuf = make([]float64, len(spec))
+// minority of bins occupied by device peaks and side lobes. The quartile
+// uses proper rank interpolation (h = 0.25·(n-1)) — the previous
+// buf[len/4] was the exact 25th percentile only when len(buf)%4 == 0 —
+// and an O(n) quickselect instead of a full sort.
+func noiseQuantile(buf []float64, spec []float64) (float64, []float64) {
+	if cap(buf) < len(spec) {
+		buf = make([]float64, len(spec))
 	}
-	buf := d.quantBuf[:len(spec)]
+	buf = buf[:len(spec)]
 	copy(buf, spec)
-	sort.Float64s(buf)
-	q25 := buf[len(buf)/4]
-	return q25 / 0.28768 // ln(4/3)
+	return dsp.QuantileInPlace(buf, 0.25) / 0.28768, buf // ln(4/3)
 }
 
-func (d *Decoder) grow(n int) {
-	if cap(d.minPower) < n {
-		d.minPower = make([]float64, n)
-		d.sumPower = make([]float64, n)
-		d.sumWBin = make([]float64, n)
-		d.present = make([]int, n)
+func (d *Decoder) grow(nCand, payloadBits int) {
+	if cap(d.sumPower) < nCand {
+		d.sumPower = make([]float64, nCand)
+		d.sumWBin = make([]float64, nCand)
+		d.present = make([]int, nCand)
+		d.scanPow = make([]float64, nCand)
+		d.scanAt = make([]float64, nCand)
+		d.payCenter = make([]int, nCand)
+		d.devices = make([]DeviceDecode, nCand)
 	}
-	d.minPower = d.minPower[:n]
-	d.sumPower = d.sumPower[:n]
-	d.sumWBin = d.sumWBin[:n]
-	d.present = d.present[:n]
+	d.sumPower = d.sumPower[:nCand]
+	d.sumWBin = d.sumWBin[:nCand]
+	d.present = d.present[:nCand]
+	d.scanPow = d.scanPow[:nCand]
+	d.scanAt = d.scanAt[:nCand]
+	d.payCenter = d.payCenter[:nCand]
+	d.devices = d.devices[:nCand]
+
+	if cap(d.powers) < nCand*payloadBits {
+		d.powers = make([]float64, nCand*payloadBits)
+		d.bits = make([]byte, nCand*payloadBits)
+	}
+	d.powers = d.powers[:nCand*payloadBits]
+	d.bits = d.bits[:nCand*payloadBits]
+	if nBytes := payloadByteCount(payloadBits); nBytes > 0 && cap(d.payload) < nCand*nBytes {
+		d.payload = make([]byte, nCand*nBytes)
+	}
 }

@@ -214,12 +214,15 @@ func TestDecoderFFTCountIndependentOfDevices(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// DecodeFrame results alias decoder-owned arenas, so capture the
+	// count before the next decode overwrites it.
+	ffts1 := res1.FFTs
 	res64, err := dec.DecodeFrame(sig, 0, book.AllShifts(), bitsLen)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res1.FFTs != res64.FFTs {
-		t.Fatalf("FFT count grew with candidates: %d vs %d", res1.FFTs, res64.FFTs)
+	if ffts1 != res64.FFTs {
+		t.Fatalf("FFT count grew with candidates: %d vs %d", ffts1, res64.FFTs)
 	}
 }
 

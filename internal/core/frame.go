@@ -81,12 +81,35 @@ func CheckFrameBits(bits []byte) (payload []byte, ok bool) {
 	if len(bits) < CRCBits || (len(bits)-CRCBits)%8 != 0 {
 		return nil, false
 	}
+	out := make([]byte, (len(bits)-CRCBits)/8)
+	return out, CheckFrameBitsInto(out, bits)
+}
+
+// CheckFrameBitsInto is CheckFrameBits decoding into caller-owned
+// storage — the allocation-free decoder packs payloads straight into its
+// arena. dst must hold (len(bits)-CRCBits)/8 bytes; it is filled with
+// the decoded payload whenever the bit count is structurally valid,
+// and the return value reports whether the CRC matched.
+func CheckFrameBitsInto(dst []byte, bits []byte) bool {
+	if len(bits) < CRCBits || (len(bits)-CRCBits)%8 != 0 {
+		return false
+	}
 	data := bits[:len(bits)-CRCBits]
+	if len(dst) != len(data)/8 {
+		panic("core: CheckFrameBitsInto dst length mismatch")
+	}
+	for i := range dst {
+		var v byte
+		for j := 0; j < 8; j++ {
+			v = v<<1 | (data[i*8+j] & 1)
+		}
+		dst[i] = v
+	}
 	var rx byte
 	for _, b := range bits[len(bits)-CRCBits:] {
 		rx = rx<<1 | (b & 1)
 	}
-	return BitsToBytes(data), crc8(data) == rx
+	return crc8(data) == rx
 }
 
 // FrameSymbols returns the total number of chirp-symbol periods a frame

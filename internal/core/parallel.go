@@ -1,0 +1,135 @@
+package core
+
+import (
+	"netscatter/internal/chirp"
+	"netscatter/internal/pool"
+)
+
+// ParallelDecoder fans the per-symbol spectrum work of DecodeFrame —
+// dechirp, pruned FFT, noise quantile, candidate peak scan — across a
+// bounded worker set, one chirp.Demodulator per worker. Everything that
+// determines the decode outcome (statistic accumulation, thresholds,
+// CRC, ghost rejection) runs serially in a fixed order on the embedded
+// serial Decoder's arenas, so the parallel decoder's FrameDecode is
+// bit-identical to the serial decoder's for the same input.
+//
+// Like Decoder, a ParallelDecoder is not safe for concurrent use (it is
+// itself the concurrency), and its results alias decoder-owned storage
+// valid until the next DecodeFrame call.
+type ParallelDecoder struct {
+	dec     *Decoder
+	workers []*decodeWorker
+
+	preArena []float64
+	preSpec  [PreambleUpSymbols][]float64
+}
+
+// decodeWorker is one worker's private state: a demodulator (FFT scratch
+// is per-instance) plus scan and quantile buffers. The pool guarantees a
+// worker id never runs two items concurrently, so no locking is needed.
+type decodeWorker struct {
+	dem   *chirp.Demodulator
+	scan  []float64
+	quant []float64
+}
+
+// NewParallelDecoder builds a parallel decoder over a code book with the
+// given worker count; workers <= 0 means pool.Size() (GOMAXPROCS). One
+// worker degrades gracefully to the serial path with zero goroutines.
+//
+// Worker 0 — the caller's own lane — shares the serial decoder's
+// demodulator, and further workers materialize their demodulators only
+// when the shared pool actually hands them work, so a decoder built in
+// a saturated sweep (where nested fan-out runs inline) costs one
+// demodulator, not GOMAXPROCS of them.
+func NewParallelDecoder(book *CodeBook, cfg DecoderConfig, workers int) *ParallelDecoder {
+	if workers <= 0 {
+		workers = pool.Size()
+	}
+	pd := &ParallelDecoder{dec: NewDecoder(book, cfg)}
+	pd.workers = make([]*decodeWorker, workers)
+	pd.workers[0] = &decodeWorker{dem: pd.dec.dem}
+	bins := pd.dec.dem.PaddedBins()
+	pd.preArena = make([]float64, PreambleUpSymbols*bins)
+	for sym := range pd.preSpec {
+		pd.preSpec[sym] = pd.preArena[sym*bins : (sym+1)*bins]
+	}
+	return pd
+}
+
+// worker returns worker w's state, materializing it on first use. Safe
+// without locks: the pool runs each worker id on exactly one goroutine
+// at a time, and successive ForEachWorker phases are ordered by its
+// WaitGroup, so slot w is only ever touched by w's current goroutine.
+func (pd *ParallelDecoder) worker(w, nCand int) *decodeWorker {
+	wk := pd.workers[w]
+	if wk == nil {
+		wk = &decodeWorker{dem: chirp.NewDemodulator(pd.dec.book.Params(), pd.dec.cfg.ZeroPad)}
+		pd.workers[w] = wk
+	}
+	if cap(wk.scan) < nCand {
+		wk.scan = make([]float64, nCand)
+	}
+	wk.scan = wk.scan[:nCand]
+	return wk
+}
+
+// Serial returns the embedded serial decoder (which shares this
+// decoder's result arenas — do not interleave DecodeFrame calls on both
+// while holding results).
+func (pd *ParallelDecoder) Serial() *Decoder { return pd.dec }
+
+// Book returns the decoder's code book.
+func (pd *ParallelDecoder) Book() *CodeBook { return pd.dec.Book() }
+
+// Workers returns the worker count.
+func (pd *ParallelDecoder) Workers() int { return len(pd.workers) }
+
+// DecodeFrame is Decoder.DecodeFrame with the symbol spectra computed in
+// parallel. Output is bit-identical to the serial path.
+func (pd *ParallelDecoder) DecodeFrame(sig []complex128, start int, shifts []int, payloadBits int) (*FrameDecode, error) {
+	d := pd.dec
+	if err := d.begin(sig, start, shifts, payloadBits); err != nil {
+		return nil, err
+	}
+	n := d.book.Params().N()
+
+	// Phase 1: preamble spectra and per-symbol noise quantiles, one
+	// symbol per work item. Workers write disjoint spectra slots and
+	// disjoint noisePerSym entries; the reduction below runs serially in
+	// symbol order, so the noise average is bit-identical to the serial
+	// decoder's.
+	pool.ForEachWorker(len(pd.workers), PreambleUpSymbols, func(w, sym int) {
+		wk := pd.worker(w, len(shifts))
+		wk.dem.SpectrumInto(pd.preSpec[sym], sig[start+sym*n:start+(sym+1)*n])
+		if d.cfg.NoiseFloor > 0 {
+			d.noisePerSym[sym] = d.cfg.NoiseFloor
+		} else {
+			d.noisePerSym[sym], wk.quant = noiseQuantile(wk.quant, pd.preSpec[sym])
+		}
+	})
+	noise := d.reduceNoise()
+	d.accumPreamble(pd.preSpec[:], shifts, noise)
+
+	// Phase 2: payload symbols. Each worker dechirps its symbol, scans
+	// the detected candidates' windows, and scatters the peak powers
+	// into the shared candidate-major power arena — every (candidate,
+	// symbol) cell is written by exactly one worker.
+	d.preparePayload(payloadBits)
+	payloadStart := start + PreambleSymbols*n
+	halfIdx := d.trackHalf()
+	pool.ForEachWorker(len(pd.workers), payloadBits, func(w, sym int) {
+		wk := pd.worker(w, len(shifts))
+		spec := wk.dem.Spectrum(sig[payloadStart+sym*n : payloadStart+(sym+1)*n])
+		chirp.ScanPaddedCenters(spec, d.payCenter, halfIdx, wk.scan)
+		for i := range shifts {
+			if d.payCenter[i] >= 0 {
+				d.powers[i*payloadBits+sym] = wk.scan[i]
+			}
+		}
+	})
+
+	d.finish(noise, payloadBits)
+	d.rejectGhosts(d.devices)
+	return &d.res, nil
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"netscatter/internal/air"
+	"netscatter/internal/chirp"
+	"netscatter/internal/dsp"
+)
+
+// buildConcurrentFrame synthesizes a received stream with nDev concurrent
+// devices under timing/frequency offsets, returning the signal, shifts
+// and payload bit length.
+func buildConcurrentFrame(t testing.TB, p chirp.Params, skip, nDev int, seed int64) (*CodeBook, []complex128, []int, int) {
+	t.Helper()
+	book, err := NewCodeBook(p, skip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nDev > book.Slots() {
+		nDev = book.Slots()
+	}
+	rng := dsp.NewRand(seed)
+	payloadBytes := 3
+	bitsLen := payloadBytes*8 + CRCBits
+	var txs []air.Transmission
+	shifts := make([]int, nDev)
+	for i := 0; i < nDev; i++ {
+		shifts[i] = book.ShiftOfSlot(i)
+		enc := NewEncoder(p, shifts[i])
+		pl := rng.Bytes(payloadBytes)
+		txs = append(txs, air.Transmission{
+			Delayed: func(frac float64) []complex128 {
+				return enc.FrameWaveformDelayed(pl, frac)
+			},
+			SNRdB:        rng.Uniform(3, 10),
+			DelaySec:     rng.Uniform(0, 0.4) / p.BW,
+			FreqOffsetHz: rng.Normal(0, 200),
+		})
+	}
+	ch := air.NewChannel(p, rng)
+	sig := ch.Receive(ch.FrameLength(PreambleSymbols+bitsLen, 2), txs)
+	return book, sig, shifts, bitsLen
+}
+
+// snapshotDecode deep-copies a FrameDecode out of the decoder's arenas.
+func snapshotDecode(res *FrameDecode) FrameDecode {
+	out := *res
+	out.Devices = make([]DeviceDecode, len(res.Devices))
+	for i, dev := range res.Devices {
+		cp := dev
+		cp.Bits = append([]byte(nil), dev.Bits...)
+		cp.Payload = append([]byte(nil), dev.Payload...)
+		if dev.Payload == nil {
+			cp.Payload = nil
+		}
+		if dev.Bits == nil {
+			cp.Bits = nil
+		}
+		out.Devices[i] = cp
+	}
+	return out
+}
+
+func decodesEqual(a, b FrameDecode) error {
+	if a.Start != b.Start || a.FFTs != b.FFTs || a.NoiseBinPower != b.NoiseBinPower {
+		return fmt.Errorf("header mismatch: %+v vs %+v",
+			FrameDecode{Start: a.Start, FFTs: a.FFTs, NoiseBinPower: a.NoiseBinPower},
+			FrameDecode{Start: b.Start, FFTs: b.FFTs, NoiseBinPower: b.NoiseBinPower})
+	}
+	if len(a.Devices) != len(b.Devices) {
+		return fmt.Errorf("device count %d vs %d", len(a.Devices), len(b.Devices))
+	}
+	for i := range a.Devices {
+		da, db := a.Devices[i], b.Devices[i]
+		if da.Shift != db.Shift || da.Detected != db.Detected || da.CRCOK != db.CRCOK ||
+			da.MeanPeakPower != db.MeanPeakPower || da.ObservedBin != db.ObservedBin {
+			return fmt.Errorf("device %d mismatch: %+v vs %+v", i, da, db)
+		}
+		if !bytes.Equal(da.Bits, db.Bits) {
+			return fmt.Errorf("device %d bits differ", i)
+		}
+		if !bytes.Equal(da.Payload, db.Payload) {
+			return fmt.Errorf("device %d payload differs", i)
+		}
+	}
+	return nil
+}
+
+// TestParallelDecoderBitExact is the tentpole contract: the parallel
+// decoder's FrameDecode must be field-for-field, bit-for-bit identical
+// to the serial decoder's across seeds, SKIP values and worker counts.
+func TestParallelDecoderBitExact(t *testing.T) {
+	p := chirp.Params{SF: 7, BW: 125e3, Oversample: 1}
+	for _, skip := range []int{1, 2, 4} {
+		for seed := int64(1); seed <= 4; seed++ {
+			book, sig, shifts, bitsLen := buildConcurrentFrame(t, p, skip, 24, seed*977)
+			serial := NewDecoder(book, DefaultDecoderConfig(skip))
+			sres, err := serial.DecodeFrame(sig, 0, shifts, bitsLen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := snapshotDecode(sres)
+			for _, workers := range []int{1, 2, 4, 7} {
+				par := NewParallelDecoder(book, DefaultDecoderConfig(skip), workers)
+				pres, err := par.DecodeFrame(sig, 0, shifts, bitsLen)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := decodesEqual(want, snapshotDecode(pres)); err != nil {
+					t.Fatalf("skip=%d seed=%d workers=%d: %v", skip, seed, workers, err)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelDecoderCalibratedNoiseFloor covers the NoiseFloor>0 branch
+// (the simulator's calibrated path) for equivalence too.
+func TestParallelDecoderCalibratedNoiseFloor(t *testing.T) {
+	p := chirp.Params{SF: 7, BW: 125e3, Oversample: 1}
+	book, sig, shifts, bitsLen := buildConcurrentFrame(t, p, 2, 32, 555)
+	cfg := DefaultDecoderConfig(2)
+	cfg.NoiseFloor = float64(p.N())
+	serial := NewDecoder(book, cfg)
+	sres, err := serial.DecodeFrame(sig, 0, shifts, bitsLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotDecode(sres)
+	par := NewParallelDecoder(book, cfg, 3)
+	pres, err := par.DecodeFrame(sig, 0, shifts, bitsLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decodesEqual(want, snapshotDecode(pres)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelDecoderReuse runs the same decoder across different frame
+// shapes to exercise arena regrowth and result reset.
+func TestParallelDecoderReuse(t *testing.T) {
+	p := chirp.Params{SF: 7, BW: 125e3, Oversample: 1}
+	book, sig, shifts, bitsLen := buildConcurrentFrame(t, p, 2, 16, 42)
+	par := NewParallelDecoder(book, DefaultDecoderConfig(2), 0)
+	serial := NewDecoder(book, DefaultDecoderConfig(2))
+
+	// Shrinking candidate sets, then growing again.
+	for _, k := range []int{16, 3, 1, 16} {
+		sres, err := serial.DecodeFrame(sig, 0, shifts[:k], bitsLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := snapshotDecode(sres)
+		pres, err := par.DecodeFrame(sig, 0, shifts[:k], bitsLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := decodesEqual(want, snapshotDecode(pres)); err != nil {
+			t.Fatalf("candidates=%d: %v", k, err)
+		}
+	}
+}
+
+func TestParallelDecoderBoundsError(t *testing.T) {
+	book, err := NewCodeBook(chirp.Params{SF: 7, BW: 125e3, Oversample: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := NewParallelDecoder(book, DefaultDecoderConfig(2), 2)
+	if _, err := par.DecodeFrame(make([]complex128, 10), 0, []int{0}, 8); err == nil {
+		t.Error("out-of-bounds frame accepted")
+	}
+}
+
+// TestDecodeFrameSteadyStateZeroAlloc asserts the tentpole's
+// allocation-free claim as a regular test, so a regression fails tier-1
+// rather than only drifting a benchmark number.
+func TestDecodeFrameSteadyStateZeroAlloc(t *testing.T) {
+	p := chirp.Params{SF: 7, BW: 125e3, Oversample: 1}
+	book, sig, shifts, bitsLen := buildConcurrentFrame(t, p, 2, 24, 9)
+	dec := NewDecoder(book, DefaultDecoderConfig(2))
+	// Warm the arenas to their high-water mark.
+	if _, err := dec.DecodeFrame(sig, 0, shifts, bitsLen); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := dec.DecodeFrame(sig, 0, shifts, bitsLen); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state DecodeFrame allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,103 @@
+package dsp
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+// referencePadded computes the full forward DFT of x zero-padded to padN
+// through the unpruned path.
+func referencePadded(x []complex128, padN int) []complex128 {
+	buf := make([]complex128, padN)
+	copy(buf, x)
+	Plan(padN).Forward(buf)
+	return buf
+}
+
+func TestForwardPrunedMatchesReference(t *testing.T) {
+	rng := NewRand(21)
+	for _, tc := range []struct{ n, padN int }{
+		{1, 8},      // degenerate: single nonzero sample
+		{4, 8},      // z = 2
+		{16, 64},    // z = 4
+		{128, 1024}, // z = 8, the receiver's ZeroPad=8 shape at SF 7
+		{512, 4096}, // the deployed SF 9 shape
+		{256, 256},  // no padding: must match Forward exactly
+	} {
+		x := make([]complex128, tc.n)
+		for i := range x {
+			x[i] = rng.ComplexNormal(1)
+		}
+		want := referencePadded(x, tc.padN)
+
+		got := make([]complex128, tc.padN)
+		copy(got, x)
+		// Poison the tail: ForwardPruned must ignore it.
+		for i := tc.n; i < tc.padN; i++ {
+			got[i] = complex(1e30, -1e30)
+		}
+		Plan(tc.padN).ForwardPruned(got, tc.n)
+
+		var maxErr, scale float64
+		for i := range want {
+			if m := cmplx.Abs(want[i]); m > scale {
+				scale = m
+			}
+		}
+		for i := range want {
+			if e := cmplx.Abs(got[i] - want[i]); e > maxErr {
+				maxErr = e
+			}
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		if maxErr/scale > 1e-12 {
+			t.Fatalf("n=%d padN=%d: max relative error %v > 1e-12", tc.n, tc.padN, maxErr/scale)
+		}
+	}
+}
+
+func TestForwardPrunedImpulse(t *testing.T) {
+	// A delta in the nonzero prefix must give a flat spectrum, exercising
+	// the broadcast stage directly.
+	padN := 64
+	x := make([]complex128, padN)
+	x[0] = 1
+	Plan(padN).ForwardPruned(x, 8)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestForwardPrunedPanicsOnBadPrefix(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-power-of-two prefix")
+		}
+	}()
+	Plan(64).ForwardPruned(make([]complex128, 64), 12)
+}
+
+func TestInverseOfPruned(t *testing.T) {
+	// Inverse(ForwardPruned(x)) recovers the zero-padded input — the
+	// conjugate-twiddle inverse path against the pruned forward path.
+	rng := NewRand(22)
+	n, padN := 32, 256
+	x := make([]complex128, padN)
+	for i := 0; i < n; i++ {
+		x[i] = rng.ComplexNormal(1)
+	}
+	y := make([]complex128, padN)
+	copy(y, x)
+	p := Plan(padN)
+	p.ForwardPruned(y, n)
+	p.Inverse(y)
+	for i := range x {
+		if cmplx.Abs(y[i]-x[i]) > 1e-9 {
+			t.Fatalf("sample %d: %v != %v", i, y[i], x[i])
+		}
+	}
+}

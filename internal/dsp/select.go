@@ -1,0 +1,90 @@
+package dsp
+
+// Order statistics without a full sort. The decoder's noise estimator
+// needs one spectrum quantile per preamble symbol; sort.Float64s over a
+// 4096-bin padded spectrum was the single most expensive non-FFT step of
+// the receive path, and quickselect does the same job in O(n).
+
+// SelectFloat64 partially sorts xs in place so that xs[k] holds the
+// element of rank k (0-indexed ascending); elements before k are <= xs[k]
+// and elements after are >= xs[k]. It returns xs[k]. It panics if k is
+// out of range.
+func SelectFloat64(xs []float64, k int) float64 {
+	if k < 0 || k >= len(xs) {
+		panic("dsp: SelectFloat64 rank out of range")
+	}
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		// Median-of-three pivot guards against sorted and constant
+		// inputs (spectra are far from adversarial, but preamble spectra
+		// at high SNR have long equal-ish noise runs).
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		// Hoare partition.
+		i, j := lo-1, hi+1
+		for {
+			for {
+				i++
+				if xs[i] >= pivot {
+					break
+				}
+			}
+			for {
+				j--
+				if xs[j] <= pivot {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	return xs[k]
+}
+
+// QuantileInPlace returns the p-quantile (p in [0,1]) of xs using linear
+// interpolation between the order statistics at ranks floor(h) and
+// ceil(h), h = p·(len-1) — the standard "type 7" definition. xs is
+// partially reordered. An empty slice yields 0.
+func QuantileInPlace(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return xs[0]
+	}
+	p = Clamp(p, 0, 1)
+	h := p * float64(n-1)
+	lo := int(h)
+	frac := h - float64(lo)
+	v := SelectFloat64(xs, lo)
+	if frac == 0 || lo+1 >= n {
+		return v
+	}
+	// After SelectFloat64 the suffix xs[lo+1:] holds all elements of
+	// rank > lo, so its minimum is the (lo+1)-th order statistic.
+	next := xs[lo+1]
+	for _, x := range xs[lo+2:] {
+		if x < next {
+			next = x
+		}
+	}
+	return v + frac*(next-v)
+}

@@ -1,0 +1,104 @@
+package dsp
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestSelectFloat64MatchesSort(t *testing.T) {
+	rng := NewRand(11)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		xs := make([]float64, n)
+		for i := range xs {
+			switch rng.Intn(4) {
+			case 0:
+				xs[i] = 0 // duplicate-heavy inputs
+			case 1:
+				xs[i] = float64(rng.Intn(5))
+			default:
+				xs[i] = rng.Normal(0, 10)
+			}
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		k := rng.Intn(n)
+		buf := append([]float64(nil), xs...)
+		if got := SelectFloat64(buf, k); got != sorted[k] {
+			t.Fatalf("trial %d: rank %d of %d = %v, want %v", trial, k, n, got, sorted[k])
+		}
+		// Partition property: everything left of k is <= xs[k], right >=.
+		for i := 0; i < k; i++ {
+			if buf[i] > buf[k] {
+				t.Fatalf("partition violated left of %d", k)
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			if buf[i] < buf[k] {
+				t.Fatalf("partition violated right of %d", k)
+			}
+		}
+	}
+}
+
+func TestSelectFloat64SortedAndReversed(t *testing.T) {
+	n := 257
+	asc := make([]float64, n)
+	desc := make([]float64, n)
+	for i := range asc {
+		asc[i] = float64(i)
+		desc[i] = float64(n - i)
+	}
+	if got := SelectFloat64(append([]float64(nil), asc...), 100); got != 100 {
+		t.Fatalf("ascending rank 100 = %v", got)
+	}
+	if got := SelectFloat64(append([]float64(nil), desc...), 0); got != 1 {
+		t.Fatalf("descending rank 0 = %v", got)
+	}
+}
+
+func TestQuantileInPlaceInterpolation(t *testing.T) {
+	// Four elements: the 25th percentile (type 7) is x_(0) + 0.75·(x_(1)-x_(0)).
+	xs := []float64{4, 1, 3, 2}
+	got := QuantileInPlace(append([]float64(nil), xs...), 0.25)
+	want := 1 + 0.75*(2-1)
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("q25 = %v, want %v", got, want)
+	}
+	// Exact-rank case: five elements, q25 lands on rank 1 exactly.
+	xs5 := []float64{5, 1, 4, 2, 3}
+	if got := QuantileInPlace(xs5, 0.25); got != 2 {
+		t.Fatalf("q25 of 5 = %v, want 2", got)
+	}
+	if got := QuantileInPlace([]float64{7}, 0.9); got != 7 {
+		t.Fatalf("single-element quantile = %v", got)
+	}
+	if got := QuantileInPlace(nil, 0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+}
+
+func TestQuantileInPlaceMatchesSortedInterpolation(t *testing.T) {
+	rng := NewRand(13)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(500)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Normal(0, 1)
+		}
+		p := rng.Float64()
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		h := p * float64(n-1)
+		lo := int(h)
+		want := sorted[lo]
+		if frac := h - float64(lo); frac > 0 && lo+1 < n {
+			want += frac * (sorted[lo+1] - sorted[lo])
+		}
+		got := QuantileInPlace(append([]float64(nil), xs...), p)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: q%.3f = %v, want %v", trial, p, got, want)
+		}
+	}
+}

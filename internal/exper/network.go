@@ -6,6 +6,7 @@ import (
 
 	"netscatter/internal/deploy"
 	"netscatter/internal/dsp"
+	"netscatter/internal/pool"
 	"netscatter/internal/radio"
 	"netscatter/internal/sim"
 )
@@ -80,18 +81,36 @@ func networkSweep(cfg Config) ([]sweepPoint, error) {
 	payload := scfg.PayloadBytes
 	payloadBits := payload*8 + 8
 
+	// Every (network size, trial) unit owns its seed, network and rng, so
+	// the units fan out across the shared worker pool; aggregation below
+	// runs in deterministic unit order, keeping the tables identical to a
+	// serial sweep at any GOMAXPROCS.
+	type trialOut struct {
+		stats sim.RoundStats
+		err   error
+	}
+	outs := make([]trialOut, len(ns)*trials)
+	pool.ForEach(len(outs), func(u int) {
+		n := ns[u/trials]
+		trial := u % trials
+		net, err := sim.NewNetwork(scfg, dep, n, cfg.Seed*1000+int64(n)*10+int64(trial))
+		if err != nil {
+			outs[u].err = err
+			return
+		}
+		outs[u].stats, outs[u].err = net.RunRound(n)
+	})
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+	}
+
 	var pts []sweepPoint
-	for _, n := range ns {
+	for nIdx, n := range ns {
 		var okSum, berSum, goodSum float64
 		for trial := 0; trial < trials; trial++ {
-			net, err := sim.NewNetwork(scfg, dep, n, cfg.Seed*1000+int64(n)*10+int64(trial))
-			if err != nil {
-				return nil, err
-			}
-			stats, err := net.RunRound(n)
-			if err != nil {
-				return nil, err
-			}
+			stats := outs[nIdx*trials+trial].stats
 			okSum += float64(stats.FramesOK)
 			berSum += stats.BER()
 			goodSum += stats.GoodFraction()

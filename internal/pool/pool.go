@@ -1,0 +1,103 @@
+// Package pool is the repository's shared bounded worker pool: a
+// parallel-for over an index space, capped at GOMAXPROCS goroutines.
+// The decode pipeline fans symbol spectra across it, the channel
+// simulator synthesizes per-device waveforms through it, and the figure
+// experiments run independent rounds on it — one concurrency primitive
+// instead of ad-hoc goroutine spawns in every layer.
+//
+// Work items must be independent; the pool makes no ordering guarantee
+// beyond "ForEach returns after every fn call has returned". Callers that
+// need determinism write results into per-index slots and reduce
+// serially afterwards.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Size returns the pool's parallelism bound: GOMAXPROCS at call time.
+func Size() int { return runtime.GOMAXPROCS(0) }
+
+// inflight bounds the extra goroutines the pool may have running across
+// every caller, so nested parallel-fors (a parallel decode inside a
+// parallel experiment sweep) share one machine-wide budget instead of
+// multiplying. The limit is re-read from GOMAXPROCS on every acquire,
+// so runtime.GOMAXPROCS changes (e.g. `go test -cpu 1,4`) take effect
+// immediately. Callers always run work inline themselves, so forward
+// progress never depends on acquiring a token.
+var inflight atomic.Int64
+
+func acquireToken() bool {
+	limit := int64(Size() - 1)
+	for {
+		cur := inflight.Load()
+		if cur >= limit {
+			return false
+		}
+		if inflight.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func releaseToken() { inflight.Add(-1) }
+
+// ForEach invokes fn(i) for every i in [0, n), using up to Size()
+// goroutines. With a single-slot pool (or a single item) it runs inline
+// on the calling goroutine, spawning nothing.
+func ForEach(n int, fn func(i int)) {
+	ForEachWorker(Size(), n, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker invokes fn(w, i) for every i in [0, n), where w
+// identifies the executing worker (0 <= w < workers). Callers use w to
+// index per-worker scratch state — each worker id runs on exactly one
+// goroutine at a time, so scratch needs no locking. workers caps the
+// goroutine count (values < 1 mean Size()); under global budget
+// pressure fewer ids may actually run, never more.
+func ForEachWorker(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = Size()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	run := func(w int) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(w, i)
+		}
+	}
+	// Spawn helpers only while the global budget allows; the remaining
+	// worker ids simply never run, and the caller drains the rest.
+	for w := 1; w < workers; w++ {
+		if !acquireToken() {
+			break
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer releaseToken()
+			run(w)
+		}(w)
+	}
+	// The caller participates as worker 0 rather than blocking idle.
+	run(0)
+	wg.Wait()
+}

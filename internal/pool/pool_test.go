@@ -1,0 +1,72 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1000} {
+		counts := make([]atomic.Int32, n)
+		ForEach(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachWorkerIDsAreExclusive(t *testing.T) {
+	// Each worker id must never run two items concurrently — that is the
+	// contract that makes per-worker scratch safe.
+	const workers, n = 4, 200
+	busy := make([]atomic.Int32, workers)
+	ForEachWorker(workers, n, func(w, _ int) {
+		if busy[w].Add(1) != 1 {
+			t.Errorf("worker %d ran concurrently with itself", w)
+		}
+		runtime.Gosched()
+		busy[w].Add(-1)
+	})
+}
+
+func TestForEachWorkerBoundsWorkerID(t *testing.T) {
+	const workers, n = 3, 50
+	var maxW atomic.Int32
+	ForEachWorker(workers, n, func(w, _ int) {
+		for {
+			cur := maxW.Load()
+			if int32(w) <= cur || maxW.CompareAndSwap(cur, int32(w)) {
+				break
+			}
+		}
+	})
+	if got := maxW.Load(); got >= workers {
+		t.Fatalf("worker id %d out of bounds", got)
+	}
+}
+
+func TestForEachWorkerSerialFallback(t *testing.T) {
+	// workers=1 must run inline: no goroutines means results are written
+	// in index order.
+	order := make([]int, 0, 10)
+	ForEachWorker(1, 10, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("serial fallback used worker %d", w)
+		}
+		order = append(order, i)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+}
+
+func TestSizePositive(t *testing.T) {
+	if Size() < 1 {
+		t.Fatalf("Size() = %d", Size())
+	}
+}

@@ -94,7 +94,7 @@ type Network struct {
 	cfg     Config
 	dep     *deploy.Deployment
 	book    *core.CodeBook
-	decoder *core.Decoder
+	decoder *core.ParallelDecoder
 	rng     *dsp.Rand
 
 	// per-device state, parallel to dep.Devices
@@ -153,7 +153,7 @@ func NewNetwork(cfg Config, dep *deploy.Deployment, maxDevices int, seed int64) 
 		cfg:     cfg,
 		dep:     dep,
 		book:    book,
-		decoder: core.NewDecoder(book, dcfg),
+		decoder: core.NewParallelDecoder(book, dcfg, 0),
 		rng:     dsp.NewRand(seed),
 		slots:   make([]int, maxDevices),
 		gains:   make([]float64, maxDevices),

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"netscatter/internal/deploy"
+	"netscatter/internal/dsp"
+	"netscatter/internal/pool"
+	"netscatter/internal/radio"
+)
+
+// TestConcurrentRunRoundRace drives several independent networks'
+// RunRound simultaneously — each round internally fans waveform
+// synthesis and the decode pipeline across the shared pool — so `go
+// test -race` sweeps the whole parallel receive path for data races.
+func TestConcurrentRunRoundRace(t *testing.T) {
+	rng := dsp.NewRand(3)
+	dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, 16, 500e3, rng)
+	cfg := DefaultConfig()
+	cfg.PayloadBytes = 2
+
+	const nets = 4
+	var wg sync.WaitGroup
+	errs := make([]error, nets)
+	stats := make([]RoundStats, nets)
+	for g := 0; g < nets; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			net, err := NewNetwork(cfg, dep, 16, int64(g)+1)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			for round := 0; round < 2; round++ {
+				s, err := net.RunRound(16)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				stats[g] = s
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("network %d: %v", g, err)
+		}
+	}
+	for g, s := range stats {
+		if s.Devices != 16 {
+			t.Fatalf("network %d ran %d devices", g, s.Devices)
+		}
+	}
+}
+
+// TestRunRoundDeterministicAcrossGOMAXPROCS pins the parallelization
+// contract: a seeded round produces identical statistics whether the
+// pool has one slot or many.
+func TestRunRoundDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func() RoundStats {
+		rng := dsp.NewRand(17)
+		dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, 24, 500e3, rng)
+		cfg := DefaultConfig()
+		cfg.PayloadBytes = 3
+		net, err := NewNetwork(cfg, dep, 24, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := net.RunRound(24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := run()
+	runtime.GOMAXPROCS(prev)
+	if pool.Size() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("pool.Size() = %d, GOMAXPROCS = %d", pool.Size(), runtime.GOMAXPROCS(0))
+	}
+	parallel := run()
+	if serial != parallel {
+		t.Fatalf("round stats differ across GOMAXPROCS:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}

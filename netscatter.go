@@ -89,7 +89,7 @@ type Network struct {
 	opts    Options
 	cp      chirp.Params
 	book    *core.CodeBook
-	decoder *core.Decoder
+	decoder *core.ParallelDecoder
 	dep     *deploy.Deployment
 	rng     *dsp.Rand
 
@@ -169,7 +169,7 @@ func NewNetwork(params Params, opts Options) (*Network, error) {
 		opts:    opts,
 		cp:      cp,
 		book:    book,
-		decoder: core.NewDecoder(book, dcfg),
+		decoder: core.NewParallelDecoder(book, dcfg, 0),
 		dep:     dep,
 		rng:     rng,
 	}
@@ -317,7 +317,9 @@ func (n *Network) Run(payloads map[int][]byte) (*Round, error) {
 		idx := idxs[i]
 		round.Detected[idx] = dev.Detected
 		if dev.CRCOK {
-			round.Payloads[idx] = dev.Payload
+			// The decode result aliases decoder arenas reused by the next
+			// Run; the Round escapes to the caller, so copy.
+			round.Payloads[idx] = append([]byte(nil), dev.Payload...)
 		}
 	}
 	return round, nil
