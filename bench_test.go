@@ -366,6 +366,32 @@ func BenchmarkEncodeFrameDelayed(b *testing.B) {
 	}
 }
 
+func BenchmarkEncodeFrameDelayedInto(b *testing.B) {
+	// The round context's reuse pattern: same frame, preallocated
+	// destination — the steady-state synthesis cost per device.
+	enc := core.NewEncoder(chirp.Default500k9, 42)
+	bits := core.FrameBits([]byte{1, 2, 3, 4, 5})
+	dst := enc.FrameBitsWaveformDelayedInto(nil, bits, 0.37)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = enc.FrameBitsWaveformDelayedInto(dst, bits, 0.37)
+	}
+}
+
+func BenchmarkEncodeFrameMixedInto(b *testing.B) {
+	// The simulator's hot path: synthesis with frequency offset and
+	// carrier gain folded into the recurrence.
+	enc := core.NewEncoder(chirp.Default500k9, 42)
+	bits := core.FrameBits([]byte{1, 2, 3, 4, 5})
+	dst := enc.FrameBitsWaveformMixedInto(nil, bits, 0.37, 230, complex(1.4, -0.3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = enc.FrameBitsWaveformMixedInto(dst, bits, 0.37, 230, complex(1.4, -0.3))
+	}
+}
+
 func BenchmarkNetworkRound64(b *testing.B) {
 	rng := dsp.NewRand(9)
 	dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, 64, 500e3, rng)

@@ -202,6 +202,33 @@ func benchmarks() []namedBench {
 	})
 
 	bms = append(bms, namedBench{
+		name: "EncodeFrameDelayedInto",
+		fn: func(b *testing.B) {
+			enc := core.NewEncoder(p, 42)
+			bits := core.FrameBits(payload)
+			dst := enc.FrameBitsWaveformDelayedInto(nil, bits, 0.37)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = enc.FrameBitsWaveformDelayedInto(dst, bits, 0.37)
+			}
+		},
+	})
+	bms = append(bms, namedBench{
+		name: "EncodeFrameMixedInto",
+		fn: func(b *testing.B) {
+			enc := core.NewEncoder(p, 42)
+			bits := core.FrameBits(payload)
+			dst := enc.FrameBitsWaveformMixedInto(nil, bits, 0.37, 230, complex(1.4, -0.3))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = enc.FrameBitsWaveformMixedInto(dst, bits, 0.37, 230, complex(1.4, -0.3))
+			}
+		},
+	})
+
+	bms = append(bms, namedBench{
 		name: "NetworkRound64",
 		fn: func(b *testing.B) {
 			r := dsp.NewRand(9)

@@ -26,16 +26,24 @@ func decodePair(strongShift, weakShift int, strongSNR, weakSNR float64, seed int
 
 	encS := core.NewEncoder(p, strongShift)
 	encW := core.NewEncoder(p, weakShift)
+	bitsS := core.FrameBits(strongPayload)
+	bitsW := core.FrameBits(weakPayload)
 	rng := dsp.NewRand(seed)
 	ch := air.NewChannel(p, rng)
+	// Mixed synthesis: the channel folds each device's frequency offset
+	// and carrier gain into the recurrence that generates its chirps.
 	sig := ch.Receive(ch.FrameLength(core.PreambleSymbols+bits, 2), []air.Transmission{
 		{
-			Delayed:      func(f float64) []complex128 { return encS.FrameWaveformDelayed(strongPayload, f) },
+			Mixed: func(dst []complex128, f, freqHz float64, gain complex128) []complex128 {
+				return encS.FrameBitsWaveformMixedInto(dst, bitsS, f, freqHz, gain)
+			},
 			SNRdB:        strongSNR,
 			FreqOffsetHz: rng.Normal(0, 100),
 		},
 		{
-			Delayed:      func(f float64) []complex128 { return encW.FrameWaveformDelayed(weakPayload, f) },
+			Mixed: func(dst []complex128, f, freqHz float64, gain complex128) []complex128 {
+				return encW.FrameBitsWaveformMixedInto(dst, bitsW, f, freqHz, gain)
+			},
 			SNRdB:        weakSNR,
 			FreqOffsetHz: rng.Normal(0, 100),
 		},

@@ -31,6 +31,18 @@ type Transmission struct {
 	// back to bandlimited interpolation — fine for smooth waveforms
 	// like the ASK downlink.
 	Delayed func(fracSamples float64) []complex128
+	// DelayedInto is Delayed synthesizing into dst's storage when its
+	// capacity suffices (core.Encoder's FrameBitsWaveformDelayedInto).
+	// It takes precedence over Delayed and Waveform; with it, steady-
+	// state rounds through ReceiveInto run allocation-free, reusing the
+	// channel's per-slot synthesis buffers.
+	DelayedInto func(dst []complex128, fracSamples float64) []complex128
+	// Mixed, if non-nil, synthesizes the fractionally-delayed waveform
+	// with the transmission's frequency offset and complex carrier gain
+	// folded into the synthesis recurrence (core.Encoder's
+	// FrameBitsWaveformMixedInto) — one pass instead of synthesize +
+	// rotate + scale. Takes precedence over every other waveform field.
+	Mixed func(dst []complex128, fracSamples, freqOffsetHz float64, gain complex128) []complex128
 	// SNRdB is the received signal-to-noise ratio at the AP over the
 	// receive bandwidth (power versus the unit noise floor).
 	SNRdB float64
@@ -47,7 +59,15 @@ type Transmission struct {
 	FixedPhase bool
 }
 
-// Channel assembles received frames for one chirp parameter set.
+// hasWave reports whether the transmission contributes any samples.
+func (tx *Transmission) hasWave() bool {
+	return tx.Mixed != nil || tx.DelayedInto != nil || tx.Delayed != nil || len(tx.Waveform) > 0
+}
+
+// Channel assembles received frames for one chirp parameter set. Its
+// synthesis scratch is reused across Receive calls; a Channel is not
+// safe for concurrent use (it owns an Rng), but one channel per
+// goroutine is cheap.
 type Channel struct {
 	// Params supplies the sample rate.
 	Params chirp.Params
@@ -56,6 +76,23 @@ type Channel struct {
 	NoisePower float64
 	// Rng drives noise, phases and nothing else.
 	Rng *dsp.Rand
+
+	// Reused per-call scratch: carrier gains, channel-owned per-slot
+	// synthesis buffers, the per-slot result views superposition reads
+	// (results[k] aliases bufs[k] for channel-synthesized waveforms but
+	// stays distinct for Delayed-path buffers, which the callback owns
+	// and must never be handed to a later transmission to overwrite),
+	// integer placements, plus the persistent worker closure and the
+	// in-flight chunk state it reads (a fresh closure per chunk would
+	// heap-allocate every round).
+	gains   []complex128
+	bufs    [][]complex128
+	results [][]complex128
+	delays  []int
+
+	worker func(k int)
+	curTxs []Transmission
+	curLo  int
 }
 
 // NewChannel returns a unit-noise channel.
@@ -64,11 +101,18 @@ func NewChannel(p chirp.Params, rng *dsp.Rand) *Channel {
 }
 
 // Receive builds a received stream of length samples from the given
-// transmissions. Each transmission is scaled to its SNR, rotated by its
-// frequency offset, delayed by its arrival offset (integer placement
-// plus a windowed-sinc fractional delay, so timing offsets behave
-// physically for both upchirps and downchirps), given a random carrier
-// phase, and superposed. Thermal noise is added last.
+// transmissions, allocating the output. See ReceiveInto.
+func (c *Channel) Receive(length int, txs []Transmission) []complex128 {
+	return c.ReceiveInto(make([]complex128, length), txs)
+}
+
+// ReceiveInto builds the received stream into out (which is zeroed
+// first) and returns it. Each transmission is scaled to its SNR,
+// rotated by its frequency offset, delayed by its arrival offset
+// (integer placement plus an analytic or windowed-sinc fractional
+// delay, so timing offsets behave physically for both upchirps and
+// downchirps), given a random carrier phase, and superposed. Thermal
+// noise is added last.
 //
 // Per-device waveform synthesis — the dominant cost with hundreds of
 // concurrent analytically-delayed frames — runs on the shared worker
@@ -76,15 +120,19 @@ func NewChannel(p chirp.Params, rng *dsp.Rand) *Channel {
 // the channel Rng in transmission order before the fan-out (the same
 // sequence the serial loop consumed), synthesis itself draws no
 // randomness, and superposition and noise stay serial in the original
-// order, so Receive's output is bit-identical for a given seed at any
+// order, so the output is bit-identical for a given seed at any
 // GOMAXPROCS.
-func (c *Channel) Receive(length int, txs []Transmission) []complex128 {
-	out := make([]complex128, length)
-	fs := c.Params.SampleRate()
-
-	gains := make([]complex128, len(txs))
-	for i, tx := range txs {
-		if tx.Delayed == nil && len(tx.Waveform) == 0 {
+func (c *Channel) ReceiveInto(out []complex128, txs []Transmission) []complex128 {
+	for i := range out {
+		out[i] = 0
+	}
+	if cap(c.gains) < len(txs) {
+		c.gains = make([]complex128, len(txs))
+	}
+	gains := c.gains[:len(txs)]
+	for i := range txs {
+		tx := &txs[i]
+		if !tx.hasWave() {
 			continue // no waveform: consumes no randomness, as before
 		}
 		gain := complex(radio.AmplitudeForSNRdB(tx.SNRdB), 0)
@@ -101,52 +149,97 @@ func (c *Channel) Receive(length int, txs []Transmission) []complex128 {
 	// parallel, then superposed serially in transmission order before
 	// the next chunk starts, so peak memory stays O(chunk) frames
 	// instead of O(devices) while the sample-level output is identical.
+	// Slot buffers persist on the channel, so steady-state rounds with
+	// DelayedInto transmissions synthesize into reused storage.
 	chunk := pool.Size() * 2
 	if chunk < 1 {
 		chunk = 1
 	}
-	bufs := make([][]complex128, min(chunk, len(txs)))
-	delays := make([]int, len(bufs))
+	nSlots := min(chunk, len(txs))
+	if len(c.bufs) < nSlots {
+		c.bufs = append(c.bufs, make([][]complex128, nSlots-len(c.bufs))...)
+		c.results = make([][]complex128, nSlots)
+		c.delays = make([]int, nSlots)
+	}
+	if c.worker == nil {
+		c.worker = c.synthOne
+	}
+	c.curTxs = txs
 	for lo := 0; lo < len(txs); lo += chunk {
 		hi := min(lo+chunk, len(txs))
-		pool.ForEach(hi-lo, func(k int) {
-			tx := &txs[lo+k]
-			delaySamples := tx.DelaySec * fs
-			intDelay := int(math.Floor(delaySamples))
-			fracSamples := delaySamples - float64(intDelay)
-			delays[k] = intDelay
-
-			var buf []complex128
-			switch {
-			case tx.Delayed != nil:
-				buf = tx.Delayed(fracSamples)
-			case fracSamples > 1e-9 && len(tx.Waveform) > 0:
-				buf = dsp.FractionalDelay(tx.Waveform, fracSamples)
-			case len(tx.Waveform) > 0:
-				buf = make([]complex128, len(tx.Waveform))
-				copy(buf, tx.Waveform)
-			default:
-				bufs[k] = nil
-				return
-			}
-			chirp.ApplyFreqOffset(buf, tx.FreqOffsetHz, fs)
-			gain := gains[lo+k]
-			for j := range buf {
-				buf[j] *= gain
-			}
-			bufs[k] = buf
-		})
+		c.curLo = lo
+		pool.ForEach(hi-lo, c.worker)
 		for k := 0; k < hi-lo; k++ {
-			if bufs[k] != nil {
-				radio.Superpose(out, bufs[k], delays[k])
-				bufs[k] = nil
+			if len(c.results[k]) > 0 {
+				radio.Superpose(out, c.results[k], c.delays[k])
 			}
+			c.results[k] = nil
 		}
 	}
+	c.curTxs = nil
 	if c.NoisePower > 0 && c.Rng != nil {
 		radio.AddAWGN(c.Rng, out, c.NoisePower)
 	}
 	return out
+}
+
+// synthOne synthesizes chunk slot k of the in-flight ReceiveInto call:
+// the transmission's delayed waveform, frequency-rotated and scaled
+// into the channel's slot buffer, ready for serial superposition.
+func (c *Channel) synthOne(k int) {
+	i := c.curLo + k
+	tx := &c.curTxs[i]
+	fs := c.Params.SampleRate()
+	delaySamples := tx.DelaySec * fs
+	intDelay := int(math.Floor(delaySamples))
+	fracSamples := delaySamples - float64(intDelay)
+	c.delays[k] = intDelay
+
+	if tx.Mixed != nil {
+		// Frequency offset and carrier gain are applied inside the
+		// synthesis recurrence — nothing left to do here.
+		c.bufs[k] = tx.Mixed(c.bufs[k][:0], fracSamples, tx.FreqOffsetHz, c.gains[i])
+		c.results[k] = c.bufs[k]
+		return
+	}
+	var buf []complex128
+	owned := false // does buf belong to the channel's slot storage?
+	switch {
+	case tx.DelayedInto != nil:
+		buf = tx.DelayedInto(c.bufs[k][:0], fracSamples)
+		owned = true
+	case tx.Delayed != nil:
+		// The callback owns the returned slice; superpose from it but
+		// never adopt it as slot storage a later call would overwrite.
+		buf = tx.Delayed(fracSamples)
+	case fracSamples > 1e-9 && len(tx.Waveform) > 0:
+		buf = dsp.FractionalDelay(tx.Waveform, fracSamples)
+	case len(tx.Waveform) > 0:
+		buf = growComplex(c.bufs[k][:0], len(tx.Waveform))
+		copy(buf, tx.Waveform)
+		owned = true
+	default:
+		c.results[k] = nil
+		return
+	}
+	chirp.ApplyFreqOffset(buf, tx.FreqOffsetHz, fs)
+	gain := c.gains[i]
+	for j := range buf {
+		buf[j] *= gain
+	}
+	if owned {
+		c.bufs[k] = buf
+	}
+	c.results[k] = buf
+}
+
+// growComplex returns dst extended to length m, reusing its storage
+// when the capacity allows.
+func growComplex(dst []complex128, m int) []complex128 {
+	if cap(dst) >= m {
+		return dst[:m]
+	}
+	return make([]complex128, m)
 }
 
 // FrameLength returns the sample count of a frame with the given total

@@ -2,6 +2,7 @@ package chirp
 
 import (
 	"fmt"
+	"slices"
 
 	"netscatter/internal/dsp"
 )
@@ -66,14 +67,30 @@ func (m *Modulator) DownSymbol(shift int) []complex128 {
 }
 
 // AppendSymbol appends Symbol(shift) to dst and returns the extended
-// slice.
+// slice, writing the rotation (or frequency mix) directly into the
+// appended region — no throwaway per-symbol slice.
 func (m *Modulator) AppendSymbol(dst []complex128, shift int) []complex128 {
-	return append(dst, m.Symbol(shift)...)
+	p := m.p
+	shift = dsp.WrapIndex(shift, p.N())
+	if p.Oversample == 1 {
+		dst = append(dst, m.up[shift:]...)
+		return append(dst, m.up[:shift]...)
+	}
+	base := len(dst)
+	dst = append(dst, m.up...)
+	ApplyFreqOffset(dst[base:], float64(shift)*p.BinHz(), p.SampleRate())
+	return dst
 }
 
 // AppendSilence appends one symbol period of zeros (an OOK '0').
 func (m *Modulator) AppendSilence(dst []complex128) []complex128 {
-	return append(dst, make([]complex128, m.p.N())...)
+	n := m.p.N()
+	base := len(dst)
+	dst = slices.Grow(dst, n)[:base+n]
+	for i := base; i < len(dst); i++ {
+		dst[i] = 0
+	}
+	return dst
 }
 
 // Demodulator de-spreads chirp symbols and locates FFT peaks with

@@ -2,22 +2,31 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"netscatter/internal/chirp"
+	"netscatter/internal/synth"
 )
 
 // Encoder produces a single device's transmit waveform: preamble chirps
 // and ON-OFF keyed payload chirps, all using the device's assigned
 // cyclic shift. In hardware this is the FPGA chirp generator (§4.1);
-// here it synthesizes baseband samples for the channel simulator.
+// here it synthesizes baseband samples for the channel simulator
+// through the shared phase-recurrence engine (internal/synth) — the
+// analytic chirp.EvalShifted physics at two complex multiplies per
+// sample, with whole frames reduced to one template symbol plus copies.
 type Encoder struct {
-	mod   *chirp.Modulator
+	p     chirp.Params
+	syn   *synth.Synthesizer
 	shift int
 }
 
-// NewEncoder builds an encoder for one device.
+// NewEncoder builds an encoder for one device. The underlying
+// synthesizer (and its symbol bank) is cached per parameter set, so
+// encoders are cheap to create in bulk.
 func NewEncoder(p chirp.Params, shift int) *Encoder {
-	return &Encoder{mod: chirp.NewModulator(p), shift: shift}
+	syn := synth.For(p)
+	return &Encoder{p: syn.Params(), syn: syn, shift: shift}
 }
 
 // Shift returns the device's assigned cyclic shift.
@@ -28,7 +37,7 @@ func (e *Encoder) Shift() int { return e.shift }
 func (e *Encoder) SetShift(shift int) { e.shift = shift }
 
 // Params returns the chirp parameters.
-func (e *Encoder) Params() chirp.Params { return e.mod.Params() }
+func (e *Encoder) Params() chirp.Params { return e.p }
 
 // AppendFrame appends the full frame waveform for payload to dst:
 // 6 shifted upchirps, 2 shifted downchirps, then one shifted upchirp per
@@ -38,27 +47,15 @@ func (e *Encoder) AppendFrame(dst []complex128, payload []byte) []complex128 {
 }
 
 // AppendFrameBits is AppendFrame for a caller-supplied bit section
-// (already including any checksum).
+// (already including any checksum). Symbols are written in place from
+// the synthesizer's bank — no per-symbol scratch slices.
 func (e *Encoder) AppendFrameBits(dst []complex128, bits []byte) []complex128 {
-	for i := 0; i < PreambleUpSymbols; i++ {
-		dst = e.mod.AppendSymbol(dst, e.shift)
-	}
-	for i := 0; i < PreambleDownSymbols; i++ {
-		dst = append(dst, e.mod.DownSymbol(e.shift)...)
-	}
-	for _, b := range bits {
-		if b != 0 {
-			dst = e.mod.AppendSymbol(dst, e.shift)
-		} else {
-			dst = e.mod.AppendSilence(dst)
-		}
-	}
-	return dst
+	return e.syn.AppendFrame(dst, e.shift, PreambleUpSymbols, PreambleDownSymbols, bits)
 }
 
 // FrameWaveform returns AppendFrame into a fresh slice.
 func (e *Encoder) FrameWaveform(payload []byte) []complex128 {
-	n := e.Params().N()
+	n := e.p.N()
 	dst := make([]complex128, 0, n*FrameSymbols(len(payload)))
 	return e.AppendFrame(dst, payload)
 }
@@ -78,36 +75,24 @@ func (e *Encoder) FrameWaveformDelayed(payload []byte, frac float64) []complex12
 // FrameBitsWaveformDelayed is FrameWaveformDelayed for a caller-supplied
 // bit section (already including any checksum).
 func (e *Encoder) FrameBitsWaveformDelayed(bits []byte, frac float64) []complex128 {
-	if frac == 0 {
-		return e.AppendFrameBits(nil, bits)
-	}
-	p := e.Params()
-	n := p.N()
-	totalSyms := PreambleSymbols + len(bits)
-	out := make([]complex128, totalSyms*n+1)
-	for j := range out {
-		u := float64(j) - frac
-		if u < 0 {
-			continue
-		}
-		k := int(u) / n
-		if k >= totalSyms {
-			break
-		}
-		x := u - float64(k*n)
-		switch {
-		case k < PreambleUpSymbols:
-			out[j] = chirp.EvalShifted(p, e.shift, x)
-		case k < PreambleSymbols:
-			v := chirp.EvalShifted(p, e.shift, x)
-			out[j] = complex(real(v), -imag(v))
-		default:
-			if bits[k-PreambleSymbols] != 0 {
-				out[j] = chirp.EvalShifted(p, e.shift, x)
-			}
-		}
-	}
-	return out
+	return e.FrameBitsWaveformDelayedInto(nil, bits, frac)
+}
+
+// FrameBitsWaveformDelayedInto is FrameBitsWaveformDelayed writing into
+// dst's storage when its capacity suffices — the simulator's round
+// context reuses one buffer per device across rounds, keeping the
+// per-round synthesis path allocation-free.
+func (e *Encoder) FrameBitsWaveformDelayedInto(dst []complex128, bits []byte, frac float64) []complex128 {
+	return e.syn.FrameDelayedInto(dst, e.shift, PreambleUpSymbols, PreambleDownSymbols, bits, frac)
+}
+
+// FrameBitsWaveformMixedInto synthesizes the delayed frame with a
+// frequency offset of freqOffsetHz and a complex carrier gain folded
+// into the recurrence — the waveform air.Channel would otherwise
+// produce by synthesizing, rotating and scaling in three passes.
+func (e *Encoder) FrameBitsWaveformMixedInto(dst []complex128, bits []byte, frac, freqOffsetHz float64, gain complex128) []complex128 {
+	omega := 2 * math.Pi * freqOffsetHz / e.p.SampleRate()
+	return e.syn.FrameMixedInto(dst, e.shift, PreambleUpSymbols, PreambleDownSymbols, bits, frac, omega, gain)
 }
 
 // OnFraction returns the fraction of payload symbols that carry energy

@@ -66,12 +66,30 @@ func BitsToBytes(bits []byte) []byte {
 // the payload bits followed by their CRC-8. Each bit occupies one chirp
 // symbol (ON-OFF keying).
 func FrameBits(payload []byte) []byte {
-	bits := BytesToBits(payload)
-	crc := crc8(bits)
-	for i := 7; i >= 0; i-- {
-		bits = append(bits, (crc>>uint(i))&1)
-	}
+	bits := make([]byte, len(payload)*8+CRCBits)
+	FrameBitsInto(bits, payload)
 	return bits
+}
+
+// FrameBitsInto is FrameBits writing into caller-owned storage — the
+// simulator's round context keeps every device's bit section in one
+// arena. dst must hold len(payload)*8 + CRCBits bytes.
+func FrameBitsInto(dst []byte, payload []byte) {
+	if len(dst) != len(payload)*8+CRCBits {
+		panic("core: FrameBitsInto dst length mismatch")
+	}
+	k := 0
+	for _, d := range payload {
+		for i := 7; i >= 0; i-- {
+			dst[k] = (d >> uint(i)) & 1
+			k++
+		}
+	}
+	crc := crc8(dst[:k])
+	for i := 7; i >= 0; i-- {
+		dst[k] = (crc >> uint(i)) & 1
+		k++
+	}
 }
 
 // CheckFrameBits verifies and strips the CRC from a received payload

@@ -22,6 +22,16 @@ type ParallelDecoder struct {
 
 	preArena []float64
 	preSpec  [PreambleUpSymbols][]float64
+
+	// Persistent phase funcs plus the in-flight call state they read;
+	// fresh closures per DecodeFrame would put two heap allocations
+	// back on the steady-state path.
+	preWorker                               func(w, sym int)
+	payWorker                               func(w, sym int)
+	curSig                                  []complex128
+	curShifts                               []int
+	curStart                                int
+	curPayStart, curHalfIdx, curPayloadBits int
 }
 
 // decodeWorker is one worker's private state: a demodulator (FFT scratch
@@ -54,7 +64,39 @@ func NewParallelDecoder(book *CodeBook, cfg DecoderConfig, workers int) *Paralle
 	for sym := range pd.preSpec {
 		pd.preSpec[sym] = pd.preArena[sym*bins : (sym+1)*bins]
 	}
+	pd.preWorker = pd.preOne
+	pd.payWorker = pd.payOne
 	return pd
+}
+
+// preOne computes one preamble symbol's spectrum and noise quantile for
+// the in-flight DecodeFrame (phase 1 work item).
+func (pd *ParallelDecoder) preOne(w, sym int) {
+	d := pd.dec
+	n := d.book.Params().N()
+	wk := pd.worker(w, len(pd.curShifts))
+	wk.dem.SpectrumInto(pd.preSpec[sym], pd.curSig[pd.curStart+sym*n:pd.curStart+(sym+1)*n])
+	if d.cfg.NoiseFloor > 0 {
+		d.noisePerSym[sym] = d.cfg.NoiseFloor
+	} else {
+		d.noisePerSym[sym], wk.quant = noiseQuantile(wk.quant, pd.preSpec[sym])
+	}
+}
+
+// payOne dechirps one payload symbol, scans the detected candidates'
+// windows and scatters the peak powers into the shared candidate-major
+// arena (phase 2 work item).
+func (pd *ParallelDecoder) payOne(w, sym int) {
+	d := pd.dec
+	n := d.book.Params().N()
+	wk := pd.worker(w, len(pd.curShifts))
+	spec := wk.dem.Spectrum(pd.curSig[pd.curPayStart+sym*n : pd.curPayStart+(sym+1)*n])
+	chirp.ScanPaddedCenters(spec, d.payCenter, pd.curHalfIdx, wk.scan)
+	for i := range pd.curShifts {
+		if d.payCenter[i] >= 0 {
+			d.powers[i*pd.curPayloadBits+sym] = wk.scan[i]
+		}
+	}
 }
 
 // worker returns worker w's state, materializing it on first use. Safe
@@ -93,21 +135,14 @@ func (pd *ParallelDecoder) DecodeFrame(sig []complex128, start int, shifts []int
 		return nil, err
 	}
 	n := d.book.Params().N()
+	pd.curSig, pd.curStart, pd.curShifts, pd.curPayloadBits = sig, start, shifts, payloadBits
 
 	// Phase 1: preamble spectra and per-symbol noise quantiles, one
 	// symbol per work item. Workers write disjoint spectra slots and
 	// disjoint noisePerSym entries; the reduction below runs serially in
 	// symbol order, so the noise average is bit-identical to the serial
 	// decoder's.
-	pool.ForEachWorker(len(pd.workers), PreambleUpSymbols, func(w, sym int) {
-		wk := pd.worker(w, len(shifts))
-		wk.dem.SpectrumInto(pd.preSpec[sym], sig[start+sym*n:start+(sym+1)*n])
-		if d.cfg.NoiseFloor > 0 {
-			d.noisePerSym[sym] = d.cfg.NoiseFloor
-		} else {
-			d.noisePerSym[sym], wk.quant = noiseQuantile(wk.quant, pd.preSpec[sym])
-		}
-	})
+	pool.ForEachWorker(len(pd.workers), PreambleUpSymbols, pd.preWorker)
 	noise := d.reduceNoise()
 	d.accumPreamble(pd.preSpec[:], shifts, noise)
 
@@ -116,19 +151,11 @@ func (pd *ParallelDecoder) DecodeFrame(sig []complex128, start int, shifts []int
 	// into the shared candidate-major power arena — every (candidate,
 	// symbol) cell is written by exactly one worker.
 	d.preparePayload(payloadBits)
-	payloadStart := start + PreambleSymbols*n
-	halfIdx := d.trackHalf()
-	pool.ForEachWorker(len(pd.workers), payloadBits, func(w, sym int) {
-		wk := pd.worker(w, len(shifts))
-		spec := wk.dem.Spectrum(sig[payloadStart+sym*n : payloadStart+(sym+1)*n])
-		chirp.ScanPaddedCenters(spec, d.payCenter, halfIdx, wk.scan)
-		for i := range shifts {
-			if d.payCenter[i] >= 0 {
-				d.powers[i*payloadBits+sym] = wk.scan[i]
-			}
-		}
-	})
+	pd.curPayStart = start + PreambleSymbols*n
+	pd.curHalfIdx = d.trackHalf()
+	pool.ForEachWorker(len(pd.workers), payloadBits, pd.payWorker)
 
+	pd.curSig = nil
 	d.finish(noise, payloadBits)
 	d.rejectGhosts(d.devices)
 	return &d.res, nil

@@ -71,10 +71,16 @@ func (r *Rand) Bernoulli(p float64) bool {
 // Bytes fills a fresh slice of length n with random bytes.
 func (r *Rand) Bytes(n int) []byte {
 	b := make([]byte, n)
+	r.FillBytes(b)
+	return b
+}
+
+// FillBytes fills b with random bytes, drawing the same sequence Bytes
+// would — callers with arenas refill in place without allocating.
+func (r *Rand) FillBytes(b []byte) {
 	for i := range b {
 		b[i] = byte(r.Intn(256))
 	}
-	return b
 }
 
 // Bits returns n random bits.

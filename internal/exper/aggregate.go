@@ -43,10 +43,10 @@ func runAggregate(cfg Config) (*Result, error) {
 		shifts[i] = bookAgg.ShiftOfSlot(i * (bookAgg.Slots() / len(shifts)))
 		payloads[i] = rng.Bytes(payloadBytes)
 		enc := core.NewEncoder(pAgg, shifts[i])
-		pl := payloads[i]
+		bits := core.FrameBits(payloads[i])
 		txs = append(txs, air.Transmission{
-			Delayed: func(f float64) []complex128 {
-				return enc.FrameWaveformDelayed(pl, f)
+			Mixed: func(dst []complex128, f, freqHz float64, gain complex128) []complex128 {
+				return enc.FrameBitsWaveformMixedInto(dst, bits, f, freqHz, gain)
 			},
 			SNRdB:    rng.Uniform(6, 12),
 			DelaySec: rng.Uniform(0, 0.3) / pAgg.BW,
@@ -81,10 +81,10 @@ func runAggregate(cfg Config) (*Result, error) {
 			bandShifts[i] = bookOne.ShiftOfSlot(i * (bookOne.Slots() / nPerBand))
 			bandPayloads[i] = rng.Bytes(payloadBytes)
 			enc := core.NewEncoder(pOne, bandShifts[i])
-			pl := bandPayloads[i]
+			bits := core.FrameBits(bandPayloads[i])
 			bandTxs = append(bandTxs, air.Transmission{
-				Delayed: func(f float64) []complex128 {
-					return enc.FrameWaveformDelayed(pl, f)
+				Mixed: func(dst []complex128, f, freqHz float64, gain complex128) []complex128 {
+					return enc.FrameBitsWaveformMixedInto(dst, bits, f, freqHz, gain)
 				},
 				SNRdB:    rng.Uniform(6, 12),
 				DelaySec: rng.Uniform(0, 0.3) / pOne.BW,

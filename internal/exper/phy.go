@@ -132,18 +132,14 @@ func nearFarBER(snrDB, diffDB float64, shift2, symbols int, rng *dsp.Rand) float
 		enc2 := core.NewEncoder(p, shift2)
 		txs := []air.Transmission{
 			{
-				Delayed: func(fr float64) []complex128 {
-					return frameBitsDelayed(enc1, bits1, fr)
-				},
+				Mixed:        frameBitsMixed(enc1, bits1),
 				SNRdB:        snrDB,
 				FreqOffsetHz: rng.Normal(0, 300),
 			},
 		}
 		if diffDB > 0 {
 			txs = append(txs, air.Transmission{
-				Delayed: func(fr float64) []complex128 {
-					return frameBitsDelayed(enc2, bits2, fr)
-				},
+				Mixed:        frameBitsMixed(enc2, bits2),
 				SNRdB:        snrDB + diffDB,
 				FreqOffsetHz: rng.Normal(0, 300),
 			})
@@ -169,10 +165,12 @@ func nearFarBER(snrDB, diffDB float64, shift2, symbols int, rng *dsp.Rand) float
 	return float64(errs) / float64(total)
 }
 
-// frameBitsDelayed synthesizes a frame around raw payload bits with a
-// fractional delay (no CRC append — BER experiments use raw bits).
-func frameBitsDelayed(enc *core.Encoder, bits []byte, frac float64) []complex128 {
-	return enc.FrameBitsWaveformDelayed(bits, frac)
+// frameBitsMixed returns a channel-mixed synthesis callback around raw
+// payload bits (no CRC append — BER experiments use raw bits).
+func frameBitsMixed(enc *core.Encoder, bits []byte) func(dst []complex128, frac, freqHz float64, gain complex128) []complex128 {
+	return func(dst []complex128, frac, freqHz float64, gain complex128) []complex128 {
+		return enc.FrameBitsWaveformMixedInto(dst, bits, frac, freqHz, gain)
+	}
 }
 
 func runFig12(cfg Config) (*Result, error) {
@@ -281,12 +279,12 @@ func weakDeviceBER(strongSNR, diffDB float64, sep, symbols int, rng *dsp.Rand) f
 		encW := core.NewEncoder(p, sep)
 		txs := []air.Transmission{
 			{
-				Delayed:      func(fr float64) []complex128 { return frameBitsDelayed(encS, bitsS, fr) },
+				Mixed:        frameBitsMixed(encS, bitsS),
 				SNRdB:        strongSNR,
 				FreqOffsetHz: rng.Normal(0, 300),
 			},
 			{
-				Delayed:      func(fr float64) []complex128 { return frameBitsDelayed(encW, bitsW, fr) },
+				Mixed:        frameBitsMixed(encW, bitsW),
 				SNRdB:        strongSNR - diffDB,
 				FreqOffsetHz: rng.Normal(0, 300),
 			},

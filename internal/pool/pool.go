@@ -46,9 +46,49 @@ func releaseToken() { inflight.Add(-1) }
 
 // ForEach invokes fn(i) for every i in [0, n), using up to Size()
 // goroutines. With a single-slot pool (or a single item) it runs inline
-// on the calling goroutine, spawning nothing.
+// on the calling goroutine, spawning nothing. The body mirrors
+// ForEachWorker rather than wrapping fn in an adapter closure: hot
+// callers (the channel simulator, the parallel decoder) pass persistent
+// funcs, and the adapter would put one heap allocation back on every
+// call.
 func ForEach(n int, fn func(i int)) {
-	ForEachWorker(Size(), n, func(_, i int) { fn(i) })
+	if n <= 0 {
+		return
+	}
+	workers := Size()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	for w := 1; w < workers; w++ {
+		if !acquireToken() {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer releaseToken()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
 }
 
 // ForEachWorker invokes fn(w, i) for every i in [0, n), where w

@@ -96,12 +96,34 @@ type Network struct {
 	book    *core.CodeBook
 	decoder *core.ParallelDecoder
 	rng     *dsp.Rand
+	ch      *air.Channel
 
 	// per-device state, parallel to dep.Devices
 	slots  []int
 	gains  []float64
 	oscs   []radio.Oscillator
 	faders []*radio.FadingProcess
+	encs   []*core.Encoder
+
+	rc roundCtx
+}
+
+// roundCtx is the network's reusable round arena: every buffer frame
+// setup needs — transmissions, payloads, frame bit sections, the
+// received stream — is carved out once at association time and refilled
+// in place each round, extending the decoder's zero-allocation property
+// (PR 1) up through the transmit path. The DelayedInto closures are
+// built once per device; each round only rewrites the scalar channel
+// fields (SNR, delay, frequency offset, fade) and the arena contents.
+type roundCtx struct {
+	txs      []air.Transmission
+	shifts   []int
+	payloads [][]byte // per-device views into payloadArena
+	bits     [][]byte // per-device frame bit sections into bitsArena
+
+	payloadArena []byte
+	bitsArena    []byte
+	sig          []complex128
 }
 
 // NewNetwork associates the first maxDevices of a deployment: slots are
@@ -159,7 +181,9 @@ func NewNetwork(cfg Config, dep *deploy.Deployment, maxDevices int, seed int64) 
 		gains:   make([]float64, maxDevices),
 		oscs:    make([]radio.Oscillator, maxDevices),
 		faders:  make([]*radio.FadingProcess, maxDevices),
+		encs:    make([]*core.Encoder, maxDevices),
 	}
+	n.ch = air.NewChannel(cfg.Params, n.rng)
 
 	// Association-time power rule, then allocation on the resulting
 	// received strengths.
@@ -196,7 +220,36 @@ func NewNetwork(cfg Config, dep *deploy.Deployment, maxDevices int, seed int64) 
 			n.slots[i] = perm[i]
 		}
 	}
+	n.initRoundCtx(maxDevices)
 	return n, nil
+}
+
+// initRoundCtx carves the reusable round arena and builds the
+// per-device encoders and transmission closures once; RunRound only
+// refills it. Slots are fixed after association, so shifts — and the
+// synthesizer state behind each encoder — never change between rounds.
+func (n *Network) initRoundCtx(maxDevices int) {
+	payloadBytes := n.cfg.PayloadBytes
+	payloadBits := payloadBytes*8 + core.CRCBits
+	frameSymbols := core.PreambleSymbols + payloadBits
+
+	rc := &n.rc
+	rc.txs = make([]air.Transmission, maxDevices)
+	rc.shifts = make([]int, maxDevices)
+	rc.payloads = make([][]byte, maxDevices)
+	rc.bits = make([][]byte, maxDevices)
+	rc.payloadArena = make([]byte, maxDevices*payloadBytes)
+	rc.bitsArena = make([]byte, maxDevices*payloadBits)
+	rc.sig = make([]complex128, n.ch.FrameLength(frameSymbols, 2))
+	for i := 0; i < maxDevices; i++ {
+		rc.shifts[i] = n.book.ShiftOfSlot(n.slots[i])
+		n.encs[i] = core.NewEncoder(n.cfg.Params, rc.shifts[i])
+		rc.payloads[i] = rc.payloadArena[i*payloadBytes : (i+1)*payloadBytes]
+		rc.bits[i] = rc.bitsArena[i*payloadBits : (i+1)*payloadBits]
+		rc.txs[i].Mixed = func(dst []complex128, frac, freqHz float64, gain complex128) []complex128 {
+			return n.encs[i].FrameBitsWaveformMixedInto(dst, n.rc.bits[i], frac, freqHz, gain)
+		}
+	}
 }
 
 // Book exposes the code book.
@@ -226,37 +279,28 @@ func (n *Network) RunRound(nDevices int) (RoundStats, error) {
 	}
 	p := n.cfg.Params
 	payloadBits := n.cfg.PayloadBytes*8 + core.CRCBits
-	frameSymbols := core.PreambleSymbols + payloadBits
 
-	txs := make([]air.Transmission, 0, nDevices)
-	shifts := make([]int, nDevices)
-	payloads := make([][]byte, nDevices)
+	// Refill the round arena in place: same rng draw order as the
+	// original per-round construction (payload bytes, fade, delay,
+	// oscillator), so a seed produces the same round sequence.
+	rc := &n.rc
+	txs := rc.txs[:nDevices]
 	for i := 0; i < nDevices; i++ {
-		shifts[i] = n.book.ShiftOfSlot(n.slots[i])
-		payloads[i] = n.rng.Bytes(n.cfg.PayloadBytes)
-		enc := core.NewEncoder(p, shifts[i])
-		pl := payloads[i]
-		snr := n.dep.Devices[i].UplinkSNRdB + n.gains[i]
+		n.rng.FillBytes(rc.payloads[i])
+		core.FrameBitsInto(rc.bits[i], rc.payloads[i])
 		var fade complex128
 		if n.faders[i] != nil {
 			fade = n.faders[i].Step()
 		}
-		delay := n.cfg.DelayModel.Draw(n.rng) +
+		txs[i].SNRdB = n.dep.Devices[i].UplinkSNRdB + n.gains[i]
+		txs[i].DelaySec = n.cfg.DelayModel.Draw(n.rng) +
 			hw.PropagationDelaySec(n.dep.Devices[i].Pos.Distance(n.dep.Plan.AP))
-		txs = append(txs, air.Transmission{
-			Delayed: func(frac float64) []complex128 {
-				return enc.FrameWaveformDelayed(pl, frac)
-			},
-			SNRdB:        snr,
-			DelaySec:     delay,
-			FreqOffsetHz: n.oscs[i].PacketOffsetHz(n.rng),
-			FadeGain:     fade,
-		})
+		txs[i].FreqOffsetHz = n.oscs[i].PacketOffsetHz(n.rng)
+		txs[i].FadeGain = fade
 	}
 
-	ch := air.NewChannel(p, n.rng)
-	sig := ch.Receive(ch.FrameLength(frameSymbols, 2), txs)
-	res, err := n.decoder.DecodeFrame(sig, 0, shifts, payloadBits)
+	sig := n.ch.ReceiveInto(rc.sig, txs)
+	res, err := n.decoder.DecodeFrame(sig, 0, rc.shifts[:nDevices], payloadBits)
 	if err != nil {
 		return RoundStats{}, err
 	}
@@ -273,13 +317,13 @@ func (n *Network) RunRound(nDevices int) (RoundStats, error) {
 		}
 		stats.Detected++
 		stats.TotalBits += payloadBits
-		want := core.FrameBits(payloads[i])
+		want := rc.bits[i]
 		for j := range want {
 			if dev.Bits[j] != want[j] {
 				stats.BitErrors++
 			}
 		}
-		if dev.CRCOK && equalBytes(dev.Payload, payloads[i]) {
+		if dev.CRCOK && equalBytes(dev.Payload, rc.payloads[i]) {
 			stats.FramesOK++
 		}
 	}

@@ -1,0 +1,83 @@
+package synth
+
+// Fuzz targets for the synthesizer invariants the decoder's physics
+// relies on. `go test -run Fuzz` exercises the committed seed corpus as
+// part of tier-1; `go test -fuzz FuzzShiftedRecurrence ./internal/synth`
+// explores further.
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"netscatter/internal/chirp"
+)
+
+// fuzzParams maps raw fuzz bytes onto a valid parameter set: SF in
+// [5, 12], Oversample in {1, 2}.
+func fuzzParams(sf, ovs uint8) chirp.Params {
+	return chirp.Params{SF: 5 + int(sf)%8, BW: 125e3, Oversample: 1 + int(ovs)%2}
+}
+
+// FuzzShiftedRecurrence checks phase continuity of the recurrence
+// synthesizer against the analytic oracle for arbitrary shift and
+// fractional offset: every sample unit magnitude, every sample within
+// oracleTol of chirp.EvalShifted.
+func FuzzShiftedRecurrence(f *testing.F) {
+	f.Add(uint8(4), uint8(0), int16(37), uint16(250))
+	f.Add(uint8(2), uint8(0), int16(0), uint16(0))
+	f.Add(uint8(2), uint8(1), int16(100), uint16(360))
+	f.Add(uint8(7), uint8(0), int16(-1234), uint16(999))
+	f.Add(uint8(0), uint8(0), int16(31), uint16(500))
+	f.Fuzz(func(t *testing.T, sf, ovs uint8, shift int16, fracMil uint16) {
+		p := fuzzParams(sf, ovs)
+		frac := float64(fracMil%1000) / 1000
+		s := For(p)
+		buf := make([]complex128, p.N())
+		x0 := -frac
+		s.ShiftedInto(buf, int(shift), x0)
+		for i, v := range buf {
+			if d := math.Abs(cmplx.Abs(v) - 1); d > oracleTol {
+				t.Fatalf("%v shift=%d frac=%.3f sample %d: magnitude off unit by %.3e",
+					p, shift, frac, i, d)
+			}
+		}
+		if err := maxOracleErr(p, int(shift), x0, buf); err > oracleTol {
+			t.Fatalf("%v shift=%d frac=%.3f: recurrence err %.3e > %g",
+				p, shift, frac, err, oracleTol)
+		}
+	})
+}
+
+// FuzzSymbolCyclicShift checks the cyclic-shift identity at critical
+// sampling: the banked integer-shift symbol must be exactly the cyclic
+// rotation of the baseline upchirp (this is what moves the dechirped
+// peak bin, §2.1), and in aggregate mode it must match the analytic
+// frequency-offset symbol within tolerance.
+func FuzzSymbolCyclicShift(f *testing.F) {
+	f.Add(uint8(4), uint8(0), int16(37))
+	f.Add(uint8(2), uint8(1), int16(-3))
+	f.Add(uint8(6), uint8(0), int16(4095))
+	f.Fuzz(func(t *testing.T, sf, ovs uint8, shift int16) {
+		p := fuzzParams(sf, ovs)
+		s := For(p)
+		n := p.N()
+		buf := make([]complex128, n)
+		s.SymbolInto(buf, int(shift))
+		if p.Oversample == 1 {
+			want := chirp.CyclicShift(s.Bank(), int(shift))
+			for i := range buf {
+				if buf[i] != want[i] {
+					t.Fatalf("%v shift=%d sample %d: bank rotation %v != CyclicShift %v",
+						p, shift, i, buf[i], want[i])
+				}
+			}
+			return
+		}
+		for i := range buf {
+			if e := cmplx.Abs(buf[i] - chirp.EvalShifted(p, int(shift), float64(i))); e > oracleTol {
+				t.Fatalf("%v shift=%d sample %d: aggregate symbol err %.3e", p, shift, i, e)
+			}
+		}
+	})
+}

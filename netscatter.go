@@ -285,10 +285,10 @@ func (n *Network) Run(payloads map[int][]byte) (*Round, error) {
 			}
 		}
 		enc := dev.enc
-		payload := pl
+		bits := core.FrameBits(pl)
 		txs = append(txs, air.Transmission{
-			Delayed: func(frac float64) []complex128 {
-				return enc.FrameWaveformDelayed(payload, frac)
+			Mixed: func(dst []complex128, frac, freqHz float64, gain complex128) []complex128 {
+				return enc.FrameBitsWaveformMixedInto(dst, bits, frac, freqHz, gain)
 			},
 			SNRdB:        dev.SNRdB + dev.GainDB,
 			DelaySec:     hw.DefaultDelayModel.Draw(n.rng) + hw.PropagationDelaySec(dev.Position.Distance(n.dep.Plan.AP)),

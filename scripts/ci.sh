@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# ci.sh — the repository's tier-1 gate: formatting, vet, build, tests.
+# ci.sh — the repository's tier-1 gate: formatting, vet, build, tests
+# (which include the golden-vector, zero-allocation and fuzz-seed
+# gates), plus an explicit fuzz-seed pass and a race-detector pass over
+# the concurrent paths.
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,5 +23,15 @@ go build ./...
 
 echo "== go test =="
 go test ./...
+
+echo "== fuzz seed corpus =="
+# Runs every Fuzz* target over its committed seeds (no exploration):
+# synthesizer phase continuity, cyclic-shift identity, decoder round-trip.
+go test -run 'Fuzz' ./internal/synth ./internal/core
+
+echo "== race: concurrent paths =="
+# The rewired sim round path, the parallel decoder and the channel
+# synthesis fan-out, all under the race detector.
+go test -race -run 'Concurrent|Parallel|Race|Mixed' ./internal/sim ./internal/core ./internal/air ./internal/pool
 
 echo "ci.sh: all green"
