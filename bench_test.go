@@ -332,6 +332,25 @@ func BenchmarkFFT4096Pruned(b *testing.B) {
 	}
 }
 
+func BenchmarkFFT4096PrunedBatch(b *testing.B) {
+	// The batched receiver's transform: the same pruned FFT through the
+	// planar split re/im layout with fused and cache-blocked stages.
+	bp := dsp.PlanBatch(4096, 512)
+	re := make([]float64, 4096)
+	im := make([]float64, 4096)
+	rng := dsp.NewRand(1)
+	for i := 0; i < 512; i++ {
+		v := rng.ComplexNormal(1)
+		re[i] = real(v)
+		im[i] = imag(v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bp.Forward(re, im)
+	}
+}
+
 func BenchmarkSymbolSpectrum(b *testing.B) {
 	// One dechirp + padded FFT: the per-symbol receiver cost that is
 	// independent of the number of devices.

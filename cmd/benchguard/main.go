@@ -1,0 +1,220 @@
+// Command benchguard enforces the repository's benchmark trajectory:
+// it loads the committed BENCH_<tag>.json reports (written by
+// cmd/netscatter-bench), orders them by run timestamp, and diffs the
+// newest report against its predecessor. The diff fails — exit status
+// 1 — when any benchmark present in both reports regressed by more
+// than the threshold in ns/op, when a benchmark that was
+// allocation-free starts allocating (the steady-state zero-alloc
+// property is part of the trajectory), or when a baseline benchmark is
+// missing from the candidate (deleting a regressed benchmark must not
+// bypass the gate).
+//
+// Reports carry machine metadata (GOOS/GOARCH, CPU count, GOMAXPROCS,
+// CPU model); benchguard refuses to compare reports measured on
+// different machines, since such a diff says nothing about the code.
+// Metadata absent from an older report (e.g. cpu_model before it was
+// recorded) is treated as unknown and compatible.
+//
+// Usage:
+//
+//	go run ./cmd/benchguard [-dir .] [-threshold 1.10] [files...]
+//
+// Reports are ordered by their embedded run timestamp; the newest is
+// the candidate and its predecessor the baseline. With explicit file
+// arguments only those reports are considered — scripts/benchguard.sh
+// passes the git-tracked ones, so a stray uncommitted BENCH_*.json in
+// the working tree cannot hijack the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Result mirrors cmd/netscatter-bench's per-benchmark record.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report mirrors cmd/netscatter-bench's run record.
+type Report struct {
+	Tag        string   `json:"tag"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	CPUModel   string   `json:"cpu_model"`
+	BenchTime  string   `json:"bench_time"`
+	Timestamp  string   `json:"timestamp"`
+	Results    []Result `json:"results"`
+
+	path string
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding BENCH_*.json reports")
+	threshold := flag.Float64("threshold", 1.10, "failure ratio: candidate ns/op vs baseline ns/op")
+	flag.Parse()
+
+	baseline, candidate, err := pickReports(*dir, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchguard: %s (%s) vs %s (%s)\n",
+		filepath.Base(candidate.path), candidate.Tag, filepath.Base(baseline.path), baseline.Tag)
+
+	if err := compatible(baseline, candidate); err != nil {
+		fatal(fmt.Errorf("refusing apples-to-oranges diff: %w", err))
+	}
+
+	failures := diff(baseline, candidate, *threshold)
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchguard: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: no regressions")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}
+
+// pickReports resolves the (baseline, candidate) pair: the two most
+// recent reports — by embedded run timestamp — among either the
+// explicit file arguments or dir's BENCH_*.json files.
+func pickReports(dir string, args []string) (baseline, candidate *Report, err error) {
+	paths := args
+	if len(paths) == 0 {
+		paths, err = filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(paths) < 2 {
+		return nil, nil, fmt.Errorf("need at least two BENCH_*.json reports, found %d", len(paths))
+	}
+
+	reports := make([]*Report, 0, len(paths))
+	for _, p := range paths {
+		r, err := load(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		reports = append(reports, r)
+	}
+	// RFC 3339 timestamps sort lexicographically; ties (or missing
+	// timestamps) fall back to the file name so the order stays stable.
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].Timestamp != reports[j].Timestamp {
+			return reports[i].Timestamp < reports[j].Timestamp
+		}
+		return reports[i].path < reports[j].path
+	})
+	return reports[len(reports)-2], reports[len(reports)-1], nil
+}
+
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Results) == 0 {
+		return nil, fmt.Errorf("%s: report has no results", path)
+	}
+	r.path = path
+	return &r, nil
+}
+
+// compatible reports whether two reports were measured in the same
+// environment. String fields compare only when both are non-empty,
+// integer fields only when both are non-zero — older reports may
+// predate a field, and an unknown value can't prove a mismatch.
+func compatible(a, b *Report) error {
+	type check struct {
+		name string
+		av   string
+		bv   string
+	}
+	checks := []check{
+		{"goos", a.GOOS, b.GOOS},
+		{"goarch", a.GOARCH, b.GOARCH},
+		{"cpu_model", a.CPUModel, b.CPUModel},
+		{"bench_time", a.BenchTime, b.BenchTime},
+		{"num_cpu", nz(a.NumCPU), nz(b.NumCPU)},
+		{"gomaxprocs", nz(a.GOMAXPROCS), nz(b.GOMAXPROCS)},
+	}
+	for _, c := range checks {
+		if c.av != "" && c.bv != "" && c.av != c.bv {
+			return fmt.Errorf("%s differs: %q (%s) vs %q (%s)", c.name, c.av, a.Tag, c.bv, b.Tag)
+		}
+	}
+	if a.GoVersion != b.GoVersion {
+		fmt.Printf("benchguard: note: go versions differ (%s vs %s)\n", a.GoVersion, b.GoVersion)
+	}
+	return nil
+}
+
+func nz(v int) string {
+	if v == 0 {
+		return ""
+	}
+	return fmt.Sprint(v)
+}
+
+// diff returns one failure message per shared benchmark that regressed,
+// plus one per baseline benchmark the candidate dropped — deleting a
+// regressed benchmark must not silently bypass the gate.
+func diff(baseline, candidate *Report, threshold float64) []string {
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var failures []string
+	seen := make(map[string]bool, len(candidate.Results))
+	shared := 0
+	for _, cur := range candidate.Results {
+		seen[cur.Name] = true
+		was, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		shared++
+		switch {
+		case was.NsPerOp > 0 && cur.NsPerOp > threshold*was.NsPerOp:
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op -> %.0f ns/op (%.2fx > %.2fx allowed)",
+				cur.Name, was.NsPerOp, cur.NsPerOp, cur.NsPerOp/was.NsPerOp, threshold))
+		case was.AllocsPerOp == 0 && cur.AllocsPerOp > 0:
+			failures = append(failures, fmt.Sprintf("%s: was allocation-free, now %d allocs/op",
+				cur.Name, cur.AllocsPerOp))
+		default:
+			fmt.Printf("benchguard: ok: %-44s %11.0f -> %11.0f ns/op (%.2fx)\n",
+				cur.Name, was.NsPerOp, cur.NsPerOp, cur.NsPerOp/was.NsPerOp)
+		}
+	}
+	for _, was := range baseline.Results {
+		if !seen[was.Name] {
+			failures = append(failures, fmt.Sprintf(
+				"%s: present in %s but missing from %s — removals must be deliberate (regenerate or prune the baseline report)",
+				was.Name, baseline.Tag, candidate.Tag))
+		}
+	}
+	if shared == 0 {
+		failures = append(failures, "no shared benchmarks between reports — nothing was guarded")
+	}
+	return failures
+}

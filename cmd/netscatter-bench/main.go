@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -37,7 +38,11 @@ type Result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// Report is the whole run.
+// Report is the whole run. The machine metadata (go version, GOOS,
+// GOARCH, CPU count, GOMAXPROCS, CPU model) identifies the measurement
+// environment; scripts/benchguard.sh refuses to diff reports whose
+// environments differ, so the committed trajectory can't silently mix
+// apples and oranges.
 type Report struct {
 	Tag        string   `json:"tag"`
 	GoVersion  string   `json:"go_version"`
@@ -45,8 +50,26 @@ type Report struct {
 	GOARCH     string   `json:"goarch"`
 	NumCPU     int      `json:"num_cpu"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
+	CPUModel   string   `json:"cpu_model,omitempty"`
+	BenchTime  string   `json:"bench_time,omitempty"`
 	Timestamp  string   `json:"timestamp"`
 	Results    []Result `json:"results"`
+}
+
+// cpuModel returns the CPU model string, best-effort: /proc/cpuinfo on
+// Linux, empty elsewhere (the field is omitted and benchguard treats it
+// as unknown-compatible).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
 }
 
 func main() {
@@ -69,6 +92,8 @@ func main() {
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+		BenchTime:  benchtime.String(),
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 	}
 
@@ -202,6 +227,55 @@ func benchmarks() []namedBench {
 	})
 
 	bms = append(bms, namedBench{
+		name: "FFT4096PrunedBatch",
+		fn: func(b *testing.B) {
+			bp := dsp.PlanBatch(4096, 512)
+			re := make([]float64, 4096)
+			im := make([]float64, 4096)
+			r := dsp.NewRand(1)
+			for i := 0; i < 512; i++ {
+				v := r.ComplexNormal(1)
+				re[i] = real(v)
+				im[i] = imag(v)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bp.Forward(re, im)
+			}
+		},
+	})
+	bms = append(bms, namedBench{
+		name: "ScanBatch48",
+		fn: func(b *testing.B) {
+			dem := chirp.NewDemodulator(p, 8)
+			const nSyms = 48
+			mod := chirp.NewModulator(p)
+			n := p.N()
+			scanSig := make([]complex128, (nSyms+1)*n)
+			r := dsp.NewRand(2)
+			for i := range scanSig {
+				scanSig[i] = r.ComplexNormal(1)
+			}
+			for s := 0; s < nSyms; s++ {
+				for i, v := range mod.Symbol(s * 7 % n) {
+					scanSig[s*n+i] += v * 2
+				}
+			}
+			centers := make([]int, 64)
+			for i := range centers {
+				centers[i] = (i * 8 * dem.ZeroPad()) % dem.PaddedBins()
+			}
+			scanOut := make([]float64, len(centers)*nSyms)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dem.ScanBatch(scanSig, 0, 0, nSyms, centers, 2, scanOut, nSyms)
+			}
+		},
+	})
+
+	bms = append(bms, namedBench{
 		name: "EncodeFrameDelayedInto",
 		fn: func(b *testing.B) {
 			enc := core.NewEncoder(p, 42)
@@ -224,6 +298,21 @@ func benchmarks() []namedBench {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				dst = enc.FrameBitsWaveformMixedInto(dst, bits, 0.37, 230, complex(1.4, -0.3))
+			}
+		},
+	})
+
+	bms = append(bms, namedBench{
+		name: "EncodeFrameMixedAdd",
+		fn: func(b *testing.B) {
+			enc := core.NewEncoder(p, 42)
+			bits := core.FrameBits(payload)
+			out := make([]complex128, (core.PreambleSymbols+len(bits)+2)*p.N())
+			var tmpl []complex128
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tmpl = enc.FrameBitsWaveformMixedAdd(out, 17, tmpl, bits, 0.37, 230, complex(1.4, -0.3))
 			}
 		},
 	})

@@ -43,6 +43,15 @@ type Transmission struct {
 	// FrameBitsWaveformMixedInto) — one pass instead of synthesize +
 	// rotate + scale. Takes precedence over every other waveform field.
 	Mixed func(dst []complex128, fracSamples, freqOffsetHz float64, gain complex128) []complex128
+	// MixedAdd, if non-nil, accumulates the mixed waveform directly into
+	// the receive buffer at the given integer sample offset (clipped to
+	// its bounds), using tmpl as caller-owned template scratch — the
+	// superposition fused into synthesis, so the frame is never
+	// materialized (core.Encoder's FrameBitsWaveformMixedAdd). The
+	// channel uses it on the serial path (single-slot pool), where it is
+	// bit-identical to Mixed + Superpose; parallel synthesis keeps using
+	// Mixed so a transmission intended for both regimes should set both.
+	MixedAdd func(out []complex128, at int, tmpl []complex128, fracSamples, freqOffsetHz float64, gain complex128) []complex128
 	// SNRdB is the received signal-to-noise ratio at the AP over the
 	// receive bandwidth (power versus the unit noise floor).
 	SNRdB float64
@@ -61,7 +70,15 @@ type Transmission struct {
 
 // hasWave reports whether the transmission contributes any samples.
 func (tx *Transmission) hasWave() bool {
-	return tx.Mixed != nil || tx.DelayedInto != nil || tx.Delayed != nil || len(tx.Waveform) > 0
+	return tx.Mixed != nil || tx.MixedAdd != nil || tx.DelayedInto != nil || tx.Delayed != nil || len(tx.Waveform) > 0
+}
+
+// placement splits the transmission's arrival delay into the integer
+// sample placement and the fractional remainder synthesis bakes in.
+func (tx *Transmission) placement(sampleRate float64) (intDelay int, fracSamples float64) {
+	delaySamples := tx.DelaySec * sampleRate
+	intDelay = int(math.Floor(delaySamples))
+	return intDelay, delaySamples - float64(intDelay)
 }
 
 // Channel assembles received frames for one chirp parameter set. Its
@@ -89,10 +106,12 @@ type Channel struct {
 	bufs    [][]complex128
 	results [][]complex128
 	delays  []int
+	tmpl    []complex128 // template scratch for the fused MixedAdd path
 
 	worker func(k int)
 	curTxs []Transmission
 	curLo  int
+	serial bool // this receive runs on a single-slot pool (fixed per call)
 }
 
 // NewChannel returns a unit-noise channel.
@@ -151,6 +170,13 @@ func (c *Channel) ReceiveInto(out []complex128, txs []Transmission) []complex128
 	// instead of O(devices) while the sample-level output is identical.
 	// Slot buffers persist on the channel, so steady-state rounds with
 	// DelayedInto transmissions synthesize into reused storage.
+	//
+	// With a single-slot pool the fan-out would run inline anyway, so
+	// the channel takes the fused path instead: MixedAdd transmissions
+	// accumulate straight into out from their template symbols, never
+	// materializing a frame — bit-identical to synthesize + Superpose
+	// (see synth.FrameMixedAccumulate) but without the frame-sized
+	// write+read round trip per device.
 	chunk := pool.Size() * 2
 	if chunk < 1 {
 		chunk = 1
@@ -165,15 +191,43 @@ func (c *Channel) ReceiveInto(out []complex128, txs []Transmission) []complex128
 		c.worker = c.synthOne
 	}
 	c.curTxs = txs
+	c.serial = pool.Size() == 1
+	fs := c.Params.SampleRate()
 	for lo := 0; lo < len(txs); lo += chunk {
 		hi := min(lo+chunk, len(txs))
 		c.curLo = lo
-		pool.ForEach(hi-lo, c.worker)
-		for k := 0; k < hi-lo; k++ {
-			if len(c.results[k]) > 0 {
-				radio.Superpose(out, c.results[k], c.delays[k])
+		if !c.serial {
+			// Fan synthesis out; fused transmissions are skipped by
+			// synthOne and handled inline below.
+			pool.ForEach(hi-lo, c.worker)
+		}
+		// Superpose in transmission order. MixedAdd transmissions that
+		// skipped slot synthesis accumulate inline; runs of synthesized
+		// slots between them land in one SuperposeBatch pass.
+		k := 0
+		for k < hi-lo {
+			tx := &txs[lo+k]
+			if c.fusedAdd(tx) {
+				at, frac := tx.placement(fs)
+				c.tmpl = tx.MixedAdd(out, at, c.tmpl, frac, tx.FreqOffsetHz, c.gains[lo+k])
+				c.results[k] = nil
+				k++
+				continue
 			}
-			c.results[k] = nil
+			if c.serial {
+				c.synthOne(k)
+			}
+			j := k + 1
+			for j < hi-lo && !c.fusedAdd(&txs[lo+j]) {
+				if c.serial {
+					c.synthOne(j)
+				}
+				j++
+			}
+			radio.SuperposeBatch(out, c.results[k:j], c.delays[k:j])
+			for ; k < j; k++ {
+				c.results[k] = nil
+			}
 		}
 	}
 	c.curTxs = nil
@@ -183,16 +237,34 @@ func (c *Channel) ReceiveInto(out []complex128, txs []Transmission) []complex128
 	return out
 }
 
+// fusedAdd reports whether tx takes the fused accumulate path on this
+// receive: always when it offers only MixedAdd, and on the serial path
+// whenever MixedAdd is present. (In parallel mode a transmission with
+// both closures synthesizes through Mixed so the pool can build frames
+// concurrently; the two routes produce identical bits.) The decision
+// reads the per-call serial flag, not pool.Size(), so one receive never
+// mixes regimes even if GOMAXPROCS changes mid-call.
+func (c *Channel) fusedAdd(tx *Transmission) bool {
+	if tx.MixedAdd == nil {
+		return false
+	}
+	return tx.Mixed == nil || c.serial
+}
+
 // synthOne synthesizes chunk slot k of the in-flight ReceiveInto call:
 // the transmission's delayed waveform, frequency-rotated and scaled
 // into the channel's slot buffer, ready for serial superposition.
 func (c *Channel) synthOne(k int) {
 	i := c.curLo + k
 	tx := &c.curTxs[i]
+	if c.fusedAdd(tx) {
+		// Handled inline by the superposition loop — synthesizing a
+		// frame here would only be thrown away.
+		c.results[k] = nil
+		return
+	}
 	fs := c.Params.SampleRate()
-	delaySamples := tx.DelaySec * fs
-	intDelay := int(math.Floor(delaySamples))
-	fracSamples := delaySamples - float64(intDelay)
+	intDelay, fracSamples := tx.placement(fs)
 	c.delays[k] = intDelay
 
 	if tx.Mixed != nil {

@@ -1,0 +1,170 @@
+package chirp
+
+import (
+	"fmt"
+	"testing"
+
+	"netscatter/internal/dsp"
+)
+
+// batchTestSignal builds a multi-symbol test signal: a few shifted
+// symbols plus noise, long enough for nSyms symbols at an offset.
+func batchTestSignal(p Params, nSyms int, seed int64) []complex128 {
+	rng := dsp.NewRand(seed)
+	mod := NewModulator(p)
+	n := p.N()
+	sig := make([]complex128, (nSyms+2)*n)
+	for i := range sig {
+		sig[i] = rng.ComplexNormal(1)
+	}
+	for s := 0; s < nSyms; s++ {
+		sym := mod.Symbol((s*37 + 11) % p.N())
+		for i, v := range sym {
+			sig[s*n+n/2+i] += v * complex(2.5, 0.4)
+		}
+	}
+	return sig
+}
+
+// TestSpectraBatchBitExact requires the planar batch spectra to be
+// bit-identical to the single-symbol Spectrum oracle across SF and
+// zero-pad combinations, including tiles larger than one batch pass.
+func TestSpectraBatchBitExact(t *testing.T) {
+	for _, sf := range []int{7, 9} {
+		for _, zp := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("sf=%d/zeropad=%d", sf, zp), func(t *testing.T) {
+				p := Params{SF: sf, BW: 125e3, Oversample: 1}
+				const nSyms = 11 // crosses the 8-symbol tile boundary
+				sig := batchTestSignal(p, nSyms, int64(sf*100+zp))
+				n := p.N()
+
+				dem := NewDemodulator(p, zp)
+				oracle := NewDemodulator(p, zp)
+				specs := dem.SpectraBatch(sig, 3, nSyms)
+				if len(specs) != nSyms {
+					t.Fatalf("got %d spectra, want %d", len(specs), nSyms)
+				}
+				for s := 0; s < nSyms; s++ {
+					want := oracle.Spectrum(sig[3+s*n : 3+(s+1)*n])
+					for k := range want {
+						if specs[s][k] != want[k] {
+							t.Fatalf("symbol %d bin %d: batch %g != oracle %g", s, k, specs[s][k], want[k])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSpectraBatchMatchesSpectra checks the batch arena path against the
+// existing complex-path Spectra API (same arena layout, same values).
+func TestSpectraBatchMatchesSpectra(t *testing.T) {
+	p := Params{SF: 8, BW: 250e3, Oversample: 1}
+	const nSyms = 5
+	sig := batchTestSignal(p, nSyms, 77)
+
+	a := NewDemodulator(p, 4)
+	b := NewDemodulator(p, 4)
+	batch := a.SpectraBatch(sig, 0, nSyms)
+	serial := b.Spectra(sig, 0, nSyms)
+	for s := range serial {
+		for k := range serial[s] {
+			if batch[s][k] != serial[s][k] {
+				t.Fatalf("symbol %d bin %d: %g != %g", s, k, batch[s][k], serial[s][k])
+			}
+		}
+	}
+}
+
+// TestScanBatchBitExact requires the fused dechirp+FFT+window scan to
+// write exactly the peak powers the Spectrum + ScanPaddedCenters
+// pipeline produces, in the decoder's candidate-major layout, skipping
+// negative centers — across zero-pad factors and window widths,
+// including windows that straddle the circular boundary.
+func TestScanBatchBitExact(t *testing.T) {
+	for _, zp := range []int{1, 8} {
+		for _, half := range []int{0, 2, 7} {
+			t.Run(fmt.Sprintf("zeropad=%d/half=%d", zp, half), func(t *testing.T) {
+				p := Params{SF: 7, BW: 125e3, Oversample: 1}
+				const nSyms = 10
+				sig := batchTestSignal(p, nSyms, int64(zp*10+half))
+				n := p.N()
+
+				dem := NewDemodulator(p, zp)
+				oracle := NewDemodulator(p, zp)
+				bins := dem.PaddedBins()
+				centers := []int{0, 5 * zp, -1, bins - 1, bins / 2, -1, 17 % bins}
+				const stride = nSyms + 3
+
+				sentinel := -123.456
+				got := make([]float64, len(centers)*stride)
+				want := make([]float64, len(centers)*stride)
+				for i := range got {
+					got[i] = sentinel
+					want[i] = sentinel
+				}
+
+				dem.ScanBatch(sig, 2, 0, nSyms, centers, half, got, stride)
+
+				scan := make([]float64, len(centers))
+				for s := 0; s < nSyms; s++ {
+					spec := oracle.Spectrum(sig[2+s*n : 2+(s+1)*n])
+					ScanPaddedCenters(spec, centers, half, scan)
+					for i, c := range centers {
+						if c >= 0 {
+							want[i*stride+s] = scan[i]
+						}
+					}
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("arena cell %d: batch %g != oracle %g", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestScanBatchOffsetColumns checks that firstSym offsets land in the
+// right arena columns (the parallel decoder hands workers disjoint
+// symbol ranges of one arena).
+func TestScanBatchOffsetColumns(t *testing.T) {
+	p := Params{SF: 7, BW: 125e3, Oversample: 1}
+	const nSyms = 9
+	sig := batchTestSignal(p, nSyms, 5)
+
+	centers := []int{3, 40, 99}
+	whole := NewDemodulator(p, 2)
+	split := NewDemodulator(p, 2)
+
+	a := make([]float64, len(centers)*nSyms)
+	b := make([]float64, len(centers)*nSyms)
+	whole.ScanBatch(sig, 0, 0, nSyms, centers, 3, a, nSyms)
+	// Same symbols, scanned as two separate batches with symbol offsets.
+	split.ScanBatch(sig, 0, 0, 4, centers, 3, b, nSyms)
+	split.ScanBatch(sig, 0, 4, nSyms-4, centers, 3, b, nSyms)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cell %d: whole-batch %g != split-batch %g", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkScanBatch48(b *testing.B) {
+	p := Default500k9
+	const nSyms = 48
+	sig := batchTestSignal(p, nSyms, 1)
+	dem := NewDemodulator(p, 8)
+	centers := make([]int, 64)
+	for i := range centers {
+		centers[i] = (i * 8 * dem.ZeroPad()) % dem.PaddedBins()
+	}
+	out := make([]float64, len(centers)*nSyms)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dem.ScanBatch(sig, 0, 0, nSyms, centers, 2, out, nSyms)
+	}
+}

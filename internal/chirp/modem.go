@@ -118,6 +118,12 @@ type Demodulator struct {
 	// spectra handed out as sub-slices, reused across calls.
 	arena     []float64
 	arenaOuts [][]float64
+
+	// Planar batch pipeline state (batch.go): the pruned planar FFT
+	// plan and the split re/im scratch a tile of symbols is dechirped
+	// and transformed in.
+	bplan            *dsp.BatchPlan
+	batchRe, batchIm []float64
 }
 
 // NewDemodulator builds a demodulator with the given zero-padding factor

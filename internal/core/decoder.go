@@ -189,15 +189,59 @@ func (d *Decoder) Demodulator() *chirp.Demodulator { return d.dem }
 // contain the full frame (PreambleSymbols + payloadBits symbols). The
 // returned FrameDecode aliases decoder-owned storage and is valid until
 // the next DecodeFrame call.
+//
+// The number crunching runs through the batched planar front-end
+// (chirp.SpectraBatch / chirp.ScanBatch): whole symbol runs are
+// dechirped and transformed per pre-planned pass, and payload peak
+// powers are written straight into the decoder's candidate-major power
+// arena without materializing per-symbol spectra. The output is
+// bit-identical to DecodeFrameOracle, the retained single-symbol path —
+// a property the test suite enforces.
 func (d *Decoder) DecodeFrame(sig []complex128, start int, shifts []int, payloadBits int) (*FrameDecode, error) {
 	if err := d.begin(sig, start, shifts, payloadBits); err != nil {
 		return nil, err
 	}
 	n := d.book.Params().N()
 
-	// Pass 1: preamble upchirps — one spectrum per symbol into the
-	// demodulator's arena, per-symbol noise quantiles, then candidate
-	// statistics and detection.
+	// Pass 1: preamble upchirps — the whole run of spectra in one batch
+	// into the demodulator's arena, per-symbol noise quantiles, then
+	// candidate statistics and detection.
+	specs := d.dem.SpectraBatch(sig, start, PreambleUpSymbols)
+	for sym, spec := range specs {
+		if d.cfg.NoiseFloor > 0 {
+			d.noisePerSym[sym] = d.cfg.NoiseFloor
+		} else {
+			d.noisePerSym[sym], d.quantBuf = noiseQuantile(d.quantBuf, spec)
+		}
+	}
+	noise := d.reduceNoise()
+	d.accumPreamble(specs, shifts, noise)
+
+	// Pass 2: payload symbols, fused — dechirp, pruned planar FFT and
+	// candidate window scan in one kernel, peak powers landing directly
+	// in the candidate-major power arena. The two preamble downchirps
+	// are skipped — they exist for packet-start estimation (sync.go).
+	d.preparePayload(payloadBits)
+	payloadStart := start + PreambleSymbols*n
+	d.dem.ScanBatch(sig, payloadStart, 0, payloadBits, d.payCenter, d.trackHalf(), d.powers, payloadBits)
+
+	d.finish(noise, payloadBits)
+	d.rejectGhosts(d.devices)
+	return &d.res, nil
+}
+
+// DecodeFrameOracle is DecodeFrame through the single-symbol pipeline —
+// one chirp.Demodulator.Spectrum and one window scan per symbol, the
+// original per-symbol receiver. It is retained as the bit-exactness
+// oracle for the batched path: both produce identical FrameDecodes for
+// identical inputs, and the batch kernels are only allowed
+// optimizations that preserve that equality.
+func (d *Decoder) DecodeFrameOracle(sig []complex128, start int, shifts []int, payloadBits int) (*FrameDecode, error) {
+	if err := d.begin(sig, start, shifts, payloadBits); err != nil {
+		return nil, err
+	}
+	n := d.book.Params().N()
+
 	specs := d.dem.Spectra(sig, start, PreambleUpSymbols)
 	for sym, spec := range specs {
 		if d.cfg.NoiseFloor > 0 {
@@ -209,9 +253,6 @@ func (d *Decoder) DecodeFrame(sig []complex128, start int, shifts []int, payload
 	noise := d.reduceNoise()
 	d.accumPreamble(specs, shifts, noise)
 
-	// Pass 2: payload symbols. The two preamble downchirps are skipped —
-	// they exist for packet-start estimation (sync.go). Peak powers are
-	// collected first; thresholds are applied per device afterwards.
 	d.preparePayload(payloadBits)
 	payloadStart := start + PreambleSymbols*n
 	halfIdx := d.trackHalf()

@@ -95,6 +95,17 @@ func (e *Encoder) FrameBitsWaveformMixedInto(dst []complex128, bits []byte, frac
 	return e.syn.FrameMixedInto(dst, e.shift, PreambleUpSymbols, PreambleDownSymbols, bits, frac, omega, gain)
 }
 
+// FrameBitsWaveformMixedAdd accumulates the mixed frame directly into a
+// receive buffer at sample offset at, clipped to out's bounds — the
+// superposition step fused into synthesis, so the frame is never
+// materialized. tmpl is caller-owned template scratch (grown to 2N and
+// returned for reuse); out must have been accumulated from zeroed
+// storage (see synth.FrameMixedAccumulate for the exactness contract).
+func (e *Encoder) FrameBitsWaveformMixedAdd(out []complex128, at int, tmpl []complex128, bits []byte, frac, freqOffsetHz float64, gain complex128) []complex128 {
+	omega := 2 * math.Pi * freqOffsetHz / e.p.SampleRate()
+	return e.syn.FrameMixedAccumulate(out, at, tmpl, e.shift, PreambleUpSymbols, PreambleDownSymbols, bits, frac, omega, gain)
+}
+
 // OnFraction returns the fraction of payload symbols that carry energy
 // for the given bits — used by energy accounting in the simulator.
 func OnFraction(bits []byte) float64 {

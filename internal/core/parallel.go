@@ -5,13 +5,27 @@ import (
 	"netscatter/internal/pool"
 )
 
-// ParallelDecoder fans the per-symbol spectrum work of DecodeFrame —
-// dechirp, pruned FFT, noise quantile, candidate peak scan — across a
-// bounded worker set, one chirp.Demodulator per worker. Everything that
-// determines the decode outcome (statistic accumulation, thresholds,
-// CRC, ghost rejection) runs serially in a fixed order on the embedded
-// serial Decoder's arenas, so the parallel decoder's FrameDecode is
-// bit-identical to the serial decoder's for the same input.
+// Symbol-batch sizing for the parallel pipeline: workers claim whole
+// runs of symbols, not single symbols, so each work item amortizes one
+// planar batch pass (dechirp + pruned FFT + scan) and the pool's
+// per-item overhead. The preamble is only six symbols, so its tiles are
+// small to keep some fan-out; payload runs are long enough for full
+// tiles.
+const (
+	preBatchSymbols = 2
+	payBatchSymbols = 8
+)
+
+// ParallelDecoder fans the symbol-batch work of DecodeFrame — dechirp,
+// pruned planar FFT, noise quantile, candidate window scan — across a
+// bounded worker set, one chirp.Demodulator per worker. Each work item
+// is a whole run of symbols through the batched front-end
+// (chirp.SpectraBatchInto / chirp.ScanBatch), writing disjoint slices
+// of the shared arenas. Everything that determines the decode outcome
+// (statistic accumulation, thresholds, CRC, ghost rejection) runs
+// serially in a fixed order on the embedded serial Decoder's arenas, so
+// the parallel decoder's FrameDecode is bit-identical to the serial
+// decoder's — and hence to DecodeFrameOracle's — for the same input.
 //
 // Like Decoder, a ParallelDecoder is not safe for concurrent use (it is
 // itself the concurrency), and its results alias decoder-owned storage
@@ -26,20 +40,19 @@ type ParallelDecoder struct {
 	// Persistent phase funcs plus the in-flight call state they read;
 	// fresh closures per DecodeFrame would put two heap allocations
 	// back on the steady-state path.
-	preWorker                               func(w, sym int)
-	payWorker                               func(w, sym int)
+	preWorker                               func(w, batch int)
+	payWorker                               func(w, batch int)
 	curSig                                  []complex128
-	curShifts                               []int
 	curStart                                int
 	curPayStart, curHalfIdx, curPayloadBits int
 }
 
-// decodeWorker is one worker's private state: a demodulator (FFT scratch
-// is per-instance) plus scan and quantile buffers. The pool guarantees a
-// worker id never runs two items concurrently, so no locking is needed.
+// decodeWorker is one worker's private state: a demodulator (FFT and
+// planar batch scratch are per-instance) plus a quantile buffer. The
+// pool guarantees a worker id never runs two items concurrently, so no
+// locking is needed.
 type decodeWorker struct {
 	dem   *chirp.Demodulator
-	scan  []float64
 	quant []float64
 }
 
@@ -64,55 +77,59 @@ func NewParallelDecoder(book *CodeBook, cfg DecoderConfig, workers int) *Paralle
 	for sym := range pd.preSpec {
 		pd.preSpec[sym] = pd.preArena[sym*bins : (sym+1)*bins]
 	}
-	pd.preWorker = pd.preOne
-	pd.payWorker = pd.payOne
+	pd.preWorker = pd.preBatch
+	pd.payWorker = pd.payBatch
 	return pd
 }
 
-// preOne computes one preamble symbol's spectrum and noise quantile for
-// the in-flight DecodeFrame (phase 1 work item).
-func (pd *ParallelDecoder) preOne(w, sym int) {
+// batchCount returns how many batch work items cover n symbols.
+func batchCount(n, tile int) int {
+	return (n + tile - 1) / tile
+}
+
+// preBatch computes one preamble symbol batch — spectra into the shared
+// arena plus per-symbol noise quantiles — for the in-flight DecodeFrame
+// (phase 1 work item).
+func (pd *ParallelDecoder) preBatch(w, batch int) {
 	d := pd.dec
 	n := d.book.Params().N()
-	wk := pd.worker(w, len(pd.curShifts))
-	wk.dem.SpectrumInto(pd.preSpec[sym], pd.curSig[pd.curStart+sym*n:pd.curStart+(sym+1)*n])
-	if d.cfg.NoiseFloor > 0 {
-		d.noisePerSym[sym] = d.cfg.NoiseFloor
-	} else {
-		d.noisePerSym[sym], wk.quant = noiseQuantile(wk.quant, pd.preSpec[sym])
+	lo := batch * preBatchSymbols
+	hi := min(PreambleUpSymbols, lo+preBatchSymbols)
+	wk := pd.worker(w)
+	bins := wk.dem.PaddedBins()
+	wk.dem.SpectraBatchInto(pd.preArena[lo*bins:hi*bins], pd.curSig, pd.curStart+lo*n, hi-lo)
+	for sym := lo; sym < hi; sym++ {
+		if d.cfg.NoiseFloor > 0 {
+			d.noisePerSym[sym] = d.cfg.NoiseFloor
+		} else {
+			d.noisePerSym[sym], wk.quant = noiseQuantile(wk.quant, pd.preSpec[sym])
+		}
 	}
 }
 
-// payOne dechirps one payload symbol, scans the detected candidates'
-// windows and scatters the peak powers into the shared candidate-major
-// arena (phase 2 work item).
-func (pd *ParallelDecoder) payOne(w, sym int) {
+// payBatch runs one payload symbol batch through the fused
+// dechirp+FFT+scan kernel, scattering peak powers into the shared
+// candidate-major arena (phase 2 work item). Batches own disjoint
+// symbol columns, so every (candidate, symbol) cell is written by
+// exactly one worker.
+func (pd *ParallelDecoder) payBatch(w, batch int) {
 	d := pd.dec
-	n := d.book.Params().N()
-	wk := pd.worker(w, len(pd.curShifts))
-	spec := wk.dem.Spectrum(pd.curSig[pd.curPayStart+sym*n : pd.curPayStart+(sym+1)*n])
-	chirp.ScanPaddedCenters(spec, d.payCenter, pd.curHalfIdx, wk.scan)
-	for i := range pd.curShifts {
-		if d.payCenter[i] >= 0 {
-			d.powers[i*pd.curPayloadBits+sym] = wk.scan[i]
-		}
-	}
+	lo := batch * payBatchSymbols
+	hi := min(pd.curPayloadBits, lo+payBatchSymbols)
+	wk := pd.worker(w)
+	wk.dem.ScanBatch(pd.curSig, pd.curPayStart, lo, hi-lo, d.payCenter, pd.curHalfIdx, d.powers, pd.curPayloadBits)
 }
 
 // worker returns worker w's state, materializing it on first use. Safe
 // without locks: the pool runs each worker id on exactly one goroutine
 // at a time, and successive ForEachWorker phases are ordered by its
 // WaitGroup, so slot w is only ever touched by w's current goroutine.
-func (pd *ParallelDecoder) worker(w, nCand int) *decodeWorker {
+func (pd *ParallelDecoder) worker(w int) *decodeWorker {
 	wk := pd.workers[w]
 	if wk == nil {
 		wk = &decodeWorker{dem: chirp.NewDemodulator(pd.dec.book.Params(), pd.dec.cfg.ZeroPad)}
 		pd.workers[w] = wk
 	}
-	if cap(wk.scan) < nCand {
-		wk.scan = make([]float64, nCand)
-	}
-	wk.scan = wk.scan[:nCand]
 	return wk
 }
 
@@ -127,7 +144,7 @@ func (pd *ParallelDecoder) Book() *CodeBook { return pd.dec.Book() }
 // Workers returns the worker count.
 func (pd *ParallelDecoder) Workers() int { return len(pd.workers) }
 
-// DecodeFrame is Decoder.DecodeFrame with the symbol spectra computed in
+// DecodeFrame is Decoder.DecodeFrame with the symbol batches computed in
 // parallel. Output is bit-identical to the serial path.
 func (pd *ParallelDecoder) DecodeFrame(sig []complex128, start int, shifts []int, payloadBits int) (*FrameDecode, error) {
 	d := pd.dec
@@ -135,25 +152,22 @@ func (pd *ParallelDecoder) DecodeFrame(sig []complex128, start int, shifts []int
 		return nil, err
 	}
 	n := d.book.Params().N()
-	pd.curSig, pd.curStart, pd.curShifts, pd.curPayloadBits = sig, start, shifts, payloadBits
+	pd.curSig, pd.curStart, pd.curPayloadBits = sig, start, payloadBits
 
 	// Phase 1: preamble spectra and per-symbol noise quantiles, one
-	// symbol per work item. Workers write disjoint spectra slots and
-	// disjoint noisePerSym entries; the reduction below runs serially in
-	// symbol order, so the noise average is bit-identical to the serial
-	// decoder's.
-	pool.ForEachWorker(len(pd.workers), PreambleUpSymbols, pd.preWorker)
+	// symbol batch per work item. Workers write disjoint spectra slots
+	// and disjoint noisePerSym entries; the reduction below runs
+	// serially in symbol order, so the noise average is bit-identical to
+	// the serial decoder's.
+	pool.ForEachWorker(len(pd.workers), batchCount(PreambleUpSymbols, preBatchSymbols), pd.preWorker)
 	noise := d.reduceNoise()
 	d.accumPreamble(pd.preSpec[:], shifts, noise)
 
-	// Phase 2: payload symbols. Each worker dechirps its symbol, scans
-	// the detected candidates' windows, and scatters the peak powers
-	// into the shared candidate-major power arena — every (candidate,
-	// symbol) cell is written by exactly one worker.
+	// Phase 2: payload symbol batches through the fused scan kernel.
 	d.preparePayload(payloadBits)
 	pd.curPayStart = start + PreambleSymbols*n
 	pd.curHalfIdx = d.trackHalf()
-	pool.ForEachWorker(len(pd.workers), payloadBits, pd.payWorker)
+	pool.ForEachWorker(len(pd.workers), batchCount(payloadBits, payBatchSymbols), pd.payWorker)
 
 	pd.curSig = nil
 	d.finish(noise, payloadBits)

@@ -1,0 +1,143 @@
+package dsp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// splitPlanar copies the first nonzero entries of x into fresh planar
+// buffers of length n (tail filled with a sentinel the pruned transform
+// must ignore).
+func splitPlanar(x []complex128, n, nonzero int) (re, im []float64) {
+	re = make([]float64, n)
+	im = make([]float64, n)
+	for i := range re {
+		re[i] = 123.456 // sentinel garbage in the padded tail
+		im[i] = -98.765
+	}
+	for i := 0; i < nonzero; i++ {
+		re[i] = real(x[i])
+		im[i] = imag(x[i])
+	}
+	return re, im
+}
+
+// TestBatchPlanBitExact verifies that the planar batch transform is
+// bit-identical to FFTPlan.ForwardPruned for every (size, nonzero)
+// combination the receiver uses — including the degenerate unpruned and
+// single-sample cases.
+func TestBatchPlanBitExact(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 512, 1024, 4096, 8192} {
+		for nonzero := 1; nonzero <= n; nonzero <<= 1 {
+			t.Run(fmt.Sprintf("n=%d/nonzero=%d", n, nonzero), func(t *testing.T) {
+				rng := NewRand(int64(n + nonzero))
+				in := make([]complex128, nonzero)
+				for i := range in {
+					in[i] = rng.ComplexNormal(1)
+				}
+
+				ref := make([]complex128, n)
+				copy(ref, in)
+				Plan(n).ForwardPruned(ref, nonzero)
+
+				re, im := splitPlanar(in, n, nonzero)
+				PlanBatch(n, nonzero).Forward(re, im)
+
+				for i := range ref {
+					if re[i] != real(ref[i]) || im[i] != imag(ref[i]) {
+						t.Fatalf("bin %d: batch (%g, %g) != oracle (%g, %g)",
+							i, re[i], im[i], real(ref[i]), imag(ref[i]))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestForwardBatchStrided checks that a multi-transform batch buffer
+// produces the same bits as transform-at-a-time calls.
+func TestForwardBatchStrided(t *testing.T) {
+	const n, nonzero, batch = 1024, 128, 5
+	rng := NewRand(7)
+	bp := PlanBatch(n, nonzero)
+
+	re := make([]float64, batch*n)
+	im := make([]float64, batch*n)
+	refRe := make([]float64, batch*n)
+	refIm := make([]float64, batch*n)
+	for b := 0; b < batch; b++ {
+		for i := 0; i < nonzero; i++ {
+			v := rng.ComplexNormal(1)
+			re[b*n+i] = real(v)
+			im[b*n+i] = imag(v)
+		}
+		copy(refRe[b*n:(b+1)*n], re[b*n:(b+1)*n])
+		copy(refIm[b*n:(b+1)*n], im[b*n:(b+1)*n])
+		bp.Forward(refRe[b*n:(b+1)*n], refIm[b*n:(b+1)*n])
+	}
+
+	bp.ForwardBatch(re, im, batch)
+	for i := range re {
+		if re[i] != refRe[i] || im[i] != refIm[i] {
+			t.Fatalf("sample %d: batch (%g, %g) != serial (%g, %g)", i, re[i], im[i], refRe[i], refIm[i])
+		}
+	}
+}
+
+// TestPowerSpectrumPlanarMatches verifies the planar power kernel
+// matches the complex128 one bit for bit.
+func TestPowerSpectrumPlanarMatches(t *testing.T) {
+	rng := NewRand(3)
+	x := make([]complex128, 257)
+	re := make([]float64, len(x))
+	im := make([]float64, len(x))
+	for i := range x {
+		x[i] = rng.ComplexNormal(2)
+		re[i] = real(x[i])
+		im[i] = imag(x[i])
+	}
+	want := PowerSpectrum(nil, x)
+	got := make([]float64, len(x))
+	PowerSpectrumPlanar(got, re, im)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bin %d: planar %g != complex %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchPlanPanics pins the argument contract.
+func TestBatchPlanPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("non-pow2 size", func() { NewBatchPlan(100, 4) })
+	mustPanic("non-pow2 nonzero", func() { NewBatchPlan(128, 3) })
+	mustPanic("nonzero > n", func() { NewBatchPlan(128, 256) })
+	bp := PlanBatch(64, 8)
+	mustPanic("short input", func() { bp.Forward(make([]float64, 32), make([]float64, 64)) })
+	mustPanic("short batch", func() { bp.ForwardBatch(make([]float64, 64), make([]float64, 64), 2) })
+}
+
+func BenchmarkForwardBatch4096Pruned(b *testing.B) {
+	bp := PlanBatch(4096, 512)
+	re := make([]float64, 4096)
+	im := make([]float64, 4096)
+	rng := NewRand(1)
+	for i := 0; i < 512; i++ {
+		v := rng.ComplexNormal(1)
+		re[i] = real(v)
+		im[i] = imag(v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bp.Forward(re, im)
+	}
+}

@@ -249,6 +249,12 @@ func (n *Network) initRoundCtx(maxDevices int) {
 		rc.txs[i].Mixed = func(dst []complex128, frac, freqHz float64, gain complex128) []complex128 {
 			return n.encs[i].FrameBitsWaveformMixedInto(dst, n.rc.bits[i], frac, freqHz, gain)
 		}
+		// On the serial channel path the frame is never materialized:
+		// synthesis accumulates straight into the receive buffer from
+		// the template symbols (bit-identical to Mixed + superpose).
+		rc.txs[i].MixedAdd = func(out []complex128, at int, tmpl []complex128, frac, freqHz float64, gain complex128) []complex128 {
+			return n.encs[i].FrameBitsWaveformMixedAdd(out, at, tmpl, n.rc.bits[i], frac, freqHz, gain)
+		}
 	}
 }
 

@@ -1,0 +1,119 @@
+package synth
+
+import (
+	"testing"
+
+	"netscatter/internal/chirp"
+)
+
+// TestFrameMixedAccumulateBitExact pins the fused accumulate contract:
+// adding a frame directly into a receive buffer must be bit-identical
+// to materializing it with FrameMixedInto and superposing it sample by
+// sample — across fractional delays, frequency offsets, gains,
+// clipping at both ends, and all-silence frames.
+func TestFrameMixedAccumulateBitExact(t *testing.T) {
+	p := chirp.Params{SF: 7, BW: 125e3, Oversample: 1}
+	s := For(p)
+	n := s.N()
+
+	cases := []struct {
+		name  string
+		at    int
+		bits  []byte
+		frac  float64
+		omega float64
+		gain  complex128
+	}{
+		{"plain", 3, []byte{1, 0, 1, 1, 0}, 0, 0, 1},
+		{"delayed", 7, []byte{1, 0, 1, 1, 0}, 0.37, 0, complex(0.8, 0.1)},
+		{"mixed", 11, []byte{0, 1, 0, 0, 1, 1}, 0.12, 2 * 3.14159 * 200 / p.SampleRate(), complex(1.4, -0.3)},
+		{"neg-offset-clip", -3*n - 17, []byte{1, 1, 0, 1}, 0.5, 0.001, complex(0.5, 0.5)},
+		{"tail-clip", 6 * n, []byte{1, 0, 1}, 0.25, -0.002, complex(2, 0)},
+		{"all-zero-bits", 5, []byte{0, 0, 0, 0}, 0.4, 0.001, complex(1, 1)},
+		{"far-negative", -100 * n, []byte{1, 1}, 0.3, 0, 1},
+		{"far-positive", 100 * n, []byte{1, 1}, 0.3, 0, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			outLen := 10 * n
+			want := make([]complex128, outLen)
+			got := make([]complex128, outLen)
+			// Non-trivial starting contents, built additively from +0.0
+			// so they satisfy the accumulate contract's precondition.
+			seed := s.bank
+			for i := range want {
+				v := seed[i%n] * complex(0.01, 0.02)
+				want[i] += v
+				got[i] += v
+			}
+
+			frame := s.FrameMixedInto(nil, 9, 6, 2, tc.bits, tc.frac, tc.omega, tc.gain)
+			for i, v := range frame {
+				j := tc.at + i
+				if j < 0 || j >= len(want) {
+					continue
+				}
+				want[j] += v
+			}
+
+			tmpl := s.FrameMixedAccumulate(got, tc.at, nil, 9, 6, 2, tc.bits, tc.frac, tc.omega, tc.gain)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("sample %d: accumulate %v != materialized %v", i, got[i], want[i])
+				}
+			}
+
+			// Second frame through the reused template scratch.
+			s.FrameMixedAccumulate(got, tc.at+n, tmpl, 9, 6, 2, tc.bits, tc.frac, tc.omega, tc.gain)
+			for i, v := range frame {
+				j := tc.at + n + i
+				if j < 0 || j >= len(want) {
+					continue
+				}
+				want[j] += v
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("reused scratch: sample %d: %v != %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestFrameMixedAccumulateAggregate covers the bandwidth-aggregation
+// synthesis branch (Oversample > 1).
+func TestFrameMixedAccumulateAggregate(t *testing.T) {
+	p := chirp.Params{SF: 7, BW: 125e3, Oversample: 2}
+	s := For(p)
+	bits := []byte{1, 0, 1}
+	out := make([]complex128, 14*s.N())
+	want := make([]complex128, len(out))
+
+	frame := s.FrameMixedInto(nil, 30, 6, 2, bits, 0.21, 0.0007, complex(1.1, 0.4))
+	for i, v := range frame {
+		want[5+i] += v
+	}
+	s.FrameMixedAccumulate(out, 5, nil, 30, 6, 2, bits, 0.21, 0.0007, complex(1.1, 0.4))
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("sample %d: %v != %v", i, out[i], want[i])
+		}
+	}
+}
+
+func BenchmarkFrameMixedAccumulate(b *testing.B) {
+	p := chirp.Default500k9
+	s := For(p)
+	bits := make([]byte, 48)
+	for i := range bits {
+		bits[i] = byte(i % 2)
+	}
+	out := make([]complex128, s.FrameSamples(8+len(bits), 0.37)+64)
+	var tmpl []complex128
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tmpl = s.FrameMixedAccumulate(out, 17, tmpl, 42, 6, 2, bits, 0.37, 0.0003, complex(1.4, -0.3))
+	}
+}

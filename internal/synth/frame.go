@@ -167,6 +167,120 @@ func (s *Synthesizer) FrameMixedInto(dst []complex128, shift int, upPreamble, do
 	return dst
 }
 
+// FrameMixedAccumulate adds the FrameMixedInto waveform, placed at
+// sample offset at, directly into out — without materializing the
+// frame. The frame is two recurrence-synthesized template symbols plus
+// constant-scaled copies, so accumulation needs only the templates:
+// each symbol segment adds tmpl[i]·rot into its clipped slice of out,
+// and silent symbols are skipped outright. tmpl is caller-owned
+// template scratch (grown to 2N and returned for reuse), which keeps
+// the synthesizer shareable across goroutines.
+//
+// Bit-exactness contract: for every sample, the value added is the
+// exact product scaledCopy would have stored (same expression, same
+// order), so out ends bit-identical to FrameMixedInto followed by
+// radio.Superpose at offset `at` — provided out was accumulated from
+// (+0.0)-zeroed storage. (Skipping a silent symbol differs from adding
+// its +0.0 samples only on a -0.0 accumulator element, and a sum seeded
+// with +0.0 can never produce -0.0.)
+func (s *Synthesizer) FrameMixedAccumulate(out []complex128, at int, tmpl []complex128, shift, upPreamble, downPreamble int, bits []byte, frac, omega float64, gain complex128) []complex128 {
+	if frac < 0 || frac >= 1 {
+		panic(fmt.Sprintf("synth: fractional delay %v outside [0, 1)", frac))
+	}
+	n := s.n
+	totalSyms := upPreamble + downPreamble + len(bits)
+	off := 0 // leading silent samples before the first symbol
+	x0 := 0.0
+	if frac != 0 {
+		off = 1
+		x0 = 1 - frac
+	}
+
+	// Template selection mirrors FrameMixedInto exactly.
+	kUp := -1
+	if upPreamble > 0 {
+		kUp = 0
+	} else {
+		for i, b := range bits {
+			if b != 0 {
+				kUp = upPreamble + downPreamble + i
+				break
+			}
+		}
+	}
+	kDown := -1
+	if downPreamble > 0 {
+		kDown = upPreamble
+	}
+	if kUp < 0 && kDown < 0 {
+		return tmpl // all silence: nothing to add
+	}
+
+	tmpl = growComplex(tmpl[:0], 2*n)
+	symPhase := func(k int) complex128 {
+		if omega == 0 {
+			return gain
+		}
+		return gain * cis(omega*float64(off+k*n))
+	}
+	var tmplUp, tmplDown []complex128
+	if kUp >= 0 {
+		tmplUp = tmpl[:n]
+		s.MixedInto(tmplUp, shift, x0, false, omega, symPhase(kUp))
+	}
+	if kDown >= 0 {
+		tmplDown = tmpl[n : 2*n]
+		s.MixedInto(tmplDown, shift, x0, true, omega, symPhase(kDown))
+	}
+
+	base := at + off
+	for k := 0; k < totalSyms; k++ {
+		g0 := base + k*n
+		switch {
+		case k == kUp:
+			addScaled(out, g0, tmplUp, 1)
+		case k == kDown:
+			addScaled(out, g0, tmplDown, 1)
+		case k < upPreamble:
+			addScaled(out, g0, tmplUp, symRot(omega, (k-kUp)*n))
+		case k < upPreamble+downPreamble:
+			addScaled(out, g0, tmplDown, symRot(omega, (k-kDown)*n))
+		case bits[k-upPreamble-downPreamble] != 0:
+			addScaled(out, g0, tmplUp, symRot(omega, (k-kUp)*n))
+		}
+	}
+	return tmpl
+}
+
+// addScaled adds src[i]·c into out[g0+i], clipped to out's bounds — the
+// synthesis-fused form of radio.Superpose. The product mirrors
+// scaledCopy bit for bit, including the c == 1 copy fast path.
+func addScaled(out []complex128, g0 int, src []complex128, c complex128) {
+	lo := 0
+	if g0 < 0 {
+		lo = -g0
+	}
+	hi := len(src)
+	if g0+hi > len(out) {
+		hi = len(out) - g0
+	}
+	if hi <= lo {
+		return
+	}
+	d := out[g0+lo : g0+hi]
+	s := src[lo:hi:hi]
+	if c == 1 {
+		for i := range d {
+			d[i] += s[i]
+		}
+		return
+	}
+	for i := range d {
+		t := s[i] * c
+		d[i] += t
+	}
+}
+
 // symRot returns the constant inter-symbol mix rotation e^{jω·Δ}.
 func symRot(omega float64, deltaSamples int) complex128 {
 	if omega == 0 {

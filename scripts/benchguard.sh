@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# benchguard.sh — the benchmark-trajectory gate: diffs the newest
+# committed BENCH_<tag>.json against its predecessor and fails on any
+# >10% ns/op regression (or a zero-alloc benchmark starting to
+# allocate, or a dropped benchmark) in the reports' shared set. Reports
+# from different machines or bench times are refused rather than
+# compared.
+#
+# Usage: scripts/benchguard.sh [report.json ...]
+# With no arguments the git-tracked BENCH_*.json reports are compared
+# (newest two by embedded run timestamp), so stray local bench runs in
+# the working tree never hijack the gate; outside a git checkout it
+# falls back to globbing the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "$#" -gt 0 ]; then
+    exec go run ./cmd/benchguard "$@"
+fi
+
+tracked=()
+if command -v git >/dev/null 2>&1 && git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+    while IFS= read -r f; do
+        tracked+=("$f")
+    done < <(git ls-files 'BENCH_*.json')
+    # Reports staged in this checkout but not yet committed still count:
+    # ls-files covers the index, which is exactly "what the PR ships".
+fi
+if [ "${#tracked[@]}" -ge 2 ]; then
+    exec go run ./cmd/benchguard "${tracked[@]}"
+fi
+exec go run ./cmd/benchguard

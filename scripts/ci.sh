@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# ci.sh — the repository's tier-1 gate: formatting, vet, build, tests
-# (which include the golden-vector, zero-allocation and fuzz-seed
-# gates), plus an explicit fuzz-seed pass and a race-detector pass over
-# the concurrent paths.
+# ci.sh — the repository's tier-1 gate: formatting, vet (plus
+# staticcheck when available), build, tests (which include the
+# golden-vector, zero-allocation, batch-vs-oracle bit-exactness and
+# fuzz-seed gates), an explicit fuzz-seed pass, a race-detector pass
+# over the concurrent paths, and the benchmark-trajectory guard over the
+# committed BENCH_<tag>.json reports.
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,20 +20,33 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== staticcheck =="
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "staticcheck not installed; skipping (tier-1 still gates on vet+tests)" >&2
+fi
+
 echo "== go build =="
 go build ./...
 
 echo "== go test =="
-go test ./...
+# -count=1 defeats the test cache so every CI run re-executes; -shuffle
+# randomizes test order to surface inter-test state leaks.
+go test -count=1 -shuffle=on ./...
 
 echo "== fuzz seed corpus =="
 # Runs every Fuzz* target over its committed seeds (no exploration):
 # synthesizer phase continuity, cyclic-shift identity, decoder round-trip.
-go test -run 'Fuzz' ./internal/synth ./internal/core
+go test -count=1 -run 'Fuzz' ./internal/synth ./internal/core
 
 echo "== race: concurrent paths =="
-# The rewired sim round path, the parallel decoder and the channel
-# synthesis fan-out, all under the race detector.
-go test -race -run 'Concurrent|Parallel|Race|Mixed' ./internal/sim ./internal/core ./internal/air ./internal/pool
+# The rewired sim round path, the batched parallel decoder (including
+# the batch-vs-oracle bit-exactness sweep) and the channel synthesis
+# fan-out, all under the race detector.
+go test -race -count=1 -run 'Concurrent|Parallel|Race|Mixed' ./internal/sim ./internal/core ./internal/air ./internal/pool
+
+echo "== benchguard: perf trajectory =="
+scripts/benchguard.sh
 
 echo "ci.sh: all green"
