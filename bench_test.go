@@ -11,6 +11,7 @@ package netscatter
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"netscatter/internal/air"
@@ -424,5 +425,42 @@ func BenchmarkNetworkRound64(b *testing.B) {
 		if _, err := net.RunRound(64); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkNetworkRound64Parallel is the same round with the worker
+// pool widened to four slots: the tiled channel path fans the transmit
+// half across tiles and the decoder fans symbol batches, with output
+// bit-identical to the serial round (test-enforced). On a single
+// hardware thread this measures the parallel path's overhead floor; on
+// multi-core hosts it tracks round-time scaling with cores.
+func BenchmarkNetworkRound64Parallel(b *testing.B) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	rng := dsp.NewRand(9)
+	dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, 64, 500e3, rng)
+	cfg := sim.DefaultConfig()
+	net, err := sim.NewNetwork(cfg, dep, 64, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.RunRound(64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNoiseFill64k tracks the vectorized noise engine: 64k
+// Gaussian draws filled and fused-added as unit AWGN over a 32k-sample
+// receive buffer, the per-round noise cost of the simulator.
+func BenchmarkNoiseFill64k(b *testing.B) {
+	st := dsp.NewStream(1)
+	sig := make([]complex128, 32768)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		radio.AddAWGN(st, sig, 1)
 	}
 }

@@ -17,13 +17,27 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchguard [-dir .] [-threshold 1.10] [files...]
+//	go run ./cmd/benchguard [-dir .] [-threshold 1.10] [-allow-new spec] [files...]
 //
 // Reports are ordered by their embedded run timestamp; the newest is
 // the candidate and its predecessor the baseline. With explicit file
 // arguments only those reports are considered — scripts/benchguard.sh
 // passes the git-tracked ones, so a stray uncommitted BENCH_*.json in
 // the working tree cannot hijack the gate.
+//
+// Benchmark suites evolve: a PR that renames a benchmark (or retires
+// one deliberately) would otherwise trip the missing-benchmark gate.
+// -allow-new names those intentional changes explicitly, as a
+// comma-separated list:
+//
+//	old=new   candidate benchmark "new" is the renamed continuation of
+//	          baseline "old" — it is diffed against old's numbers, so
+//	          the regression gate still applies across the rename
+//	name      baseline benchmark "name" was deliberately removed; its
+//	          absence alone does not fail the gate
+//
+// Entries that match nothing in the reports are an error (a typo must
+// not silently weaken the gate).
 package main
 
 import (
@@ -33,6 +47,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // Result mirrors cmd/netscatter-bench's per-benchmark record.
@@ -62,8 +77,13 @@ type Report struct {
 func main() {
 	dir := flag.String("dir", ".", "directory holding BENCH_*.json reports")
 	threshold := flag.Float64("threshold", 1.10, "failure ratio: candidate ns/op vs baseline ns/op")
+	allowNew := flag.String("allow-new", "", "comma-separated intentional suite changes: old=new renames, bare names for removals")
 	flag.Parse()
 
+	allow, err := parseAllowNew(*allowNew)
+	if err != nil {
+		fatal(err)
+	}
 	baseline, candidate, err := pickReports(*dir, flag.Args())
 	if err != nil {
 		fatal(err)
@@ -75,7 +95,7 @@ func main() {
 		fatal(fmt.Errorf("refusing apples-to-oranges diff: %w", err))
 	}
 
-	failures := diff(baseline, candidate, *threshold)
+	failures := diff(baseline, candidate, *threshold, allow)
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "benchguard: FAIL:", f)
@@ -83,6 +103,35 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: no regressions")
+}
+
+// allowance is the parsed -allow-new specification.
+type allowance struct {
+	renames map[string]string // baseline name -> candidate name
+	removed map[string]bool   // baseline names allowed to vanish
+}
+
+func parseAllowNew(spec string) (allowance, error) {
+	a := allowance{renames: map[string]string{}, removed: map[string]bool{}}
+	if spec == "" {
+		return a, nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		if old, new, ok := strings.Cut(entry, "="); ok {
+			old, new = strings.TrimSpace(old), strings.TrimSpace(new)
+			if old == "" || new == "" {
+				return a, fmt.Errorf("-allow-new: malformed rename %q", entry)
+			}
+			a.renames[old] = new
+		} else {
+			a.removed[entry] = true
+		}
+	}
+	return a, nil
 }
 
 func fatal(err error) {
@@ -178,18 +227,57 @@ func nz(v int) string {
 
 // diff returns one failure message per shared benchmark that regressed,
 // plus one per baseline benchmark the candidate dropped — deleting a
-// regressed benchmark must not silently bypass the gate.
-func diff(baseline, candidate *Report, threshold float64) []string {
+// regressed benchmark must not silently bypass the gate. Renames and
+// removals declared in allow are honored: a renamed benchmark is diffed
+// against its baseline numbers (the gate survives the rename), a
+// declared removal is skipped, and an allowance matching nothing fails
+// outright.
+func diff(baseline, candidate *Report, threshold float64, allow allowance) []string {
 	base := make(map[string]Result, len(baseline.Results))
 	for _, r := range baseline.Results {
 		base[r.Name] = r
 	}
+	cand := make(map[string]Result, len(candidate.Results))
+	for _, r := range candidate.Results {
+		cand[r.Name] = r
+	}
+
 	var failures []string
+
+	// Resolve declared renames up front: candidate "new" inherits
+	// baseline "old"'s numbers under the old name's slot.
+	renamedTo := make(map[string]string) // candidate name -> baseline name
+	for old, new := range allow.renames {
+		if _, ok := base[old]; !ok {
+			failures = append(failures, fmt.Sprintf(
+				"-allow-new rename %s=%s: %q not in baseline %s", old, new, old, baseline.Tag))
+			continue
+		}
+		if _, ok := cand[new]; !ok {
+			failures = append(failures, fmt.Sprintf(
+				"-allow-new rename %s=%s: %q not in candidate %s", old, new, new, candidate.Tag))
+			continue
+		}
+		renamedTo[new] = old
+	}
+	for name := range allow.removed {
+		if _, ok := base[name]; !ok {
+			failures = append(failures, fmt.Sprintf(
+				"-allow-new removal %q: not in baseline %s", name, baseline.Tag))
+		}
+	}
+
 	seen := make(map[string]bool, len(candidate.Results))
 	shared := 0
 	for _, cur := range candidate.Results {
-		seen[cur.Name] = true
+		label := cur.Name
 		was, ok := base[cur.Name]
+		if old, renamed := renamedTo[cur.Name]; renamed {
+			was, ok = base[old], true
+			label = fmt.Sprintf("%s (was %s)", cur.Name, old)
+			seen[old] = true
+		}
+		seen[cur.Name] = true
 		if !ok {
 			continue
 		}
@@ -197,19 +285,19 @@ func diff(baseline, candidate *Report, threshold float64) []string {
 		switch {
 		case was.NsPerOp > 0 && cur.NsPerOp > threshold*was.NsPerOp:
 			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op -> %.0f ns/op (%.2fx > %.2fx allowed)",
-				cur.Name, was.NsPerOp, cur.NsPerOp, cur.NsPerOp/was.NsPerOp, threshold))
+				label, was.NsPerOp, cur.NsPerOp, cur.NsPerOp/was.NsPerOp, threshold))
 		case was.AllocsPerOp == 0 && cur.AllocsPerOp > 0:
 			failures = append(failures, fmt.Sprintf("%s: was allocation-free, now %d allocs/op",
-				cur.Name, cur.AllocsPerOp))
+				label, cur.AllocsPerOp))
 		default:
 			fmt.Printf("benchguard: ok: %-44s %11.0f -> %11.0f ns/op (%.2fx)\n",
-				cur.Name, was.NsPerOp, cur.NsPerOp, cur.NsPerOp/was.NsPerOp)
+				label, was.NsPerOp, cur.NsPerOp, cur.NsPerOp/was.NsPerOp)
 		}
 	}
 	for _, was := range baseline.Results {
-		if !seen[was.Name] {
+		if !seen[was.Name] && !allow.removed[was.Name] {
 			failures = append(failures, fmt.Sprintf(
-				"%s: present in %s but missing from %s — removals must be deliberate (regenerate or prune the baseline report)",
+				"%s: present in %s but missing from %s — removals must be deliberate (declare with -allow-new or prune the baseline report)",
 				was.Name, baseline.Tag, candidate.Tag))
 		}
 	}

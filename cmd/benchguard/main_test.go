@@ -1,0 +1,140 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(tag string, results ...Result) *Report {
+	return &Report{Tag: tag, Results: results}
+}
+
+func res(name string, ns float64, allocs int64) Result {
+	return Result{Name: name, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func noAllow(t *testing.T) allowance {
+	t.Helper()
+	a, err := parseAllowNew("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestDiffPassesOnImprovement(t *testing.T) {
+	base := report("old", res("A", 100, 0), res("B", 200, 3))
+	cand := report("new", res("A", 90, 0), res("B", 150, 3))
+	if f := diff(base, cand, 1.10, noAllow(t)); len(f) != 0 {
+		t.Fatalf("unexpected failures: %v", f)
+	}
+}
+
+func TestDiffFailsOnRegression(t *testing.T) {
+	base := report("old", res("A", 100, 0))
+	cand := report("new", res("A", 120, 0))
+	f := diff(base, cand, 1.10, noAllow(t))
+	if len(f) != 1 || !strings.Contains(f[0], "1.20x") {
+		t.Fatalf("regression not flagged: %v", f)
+	}
+}
+
+func TestDiffFailsOnNewAllocations(t *testing.T) {
+	base := report("old", res("A", 100, 0))
+	cand := report("new", res("A", 100, 2))
+	f := diff(base, cand, 1.10, noAllow(t))
+	if len(f) != 1 || !strings.Contains(f[0], "allocation-free") {
+		t.Fatalf("alloc regression not flagged: %v", f)
+	}
+}
+
+func TestDiffFailsOnUndeclaredDrop(t *testing.T) {
+	base := report("old", res("A", 100, 0), res("B", 50, 0))
+	cand := report("new", res("A", 100, 0))
+	f := diff(base, cand, 1.10, noAllow(t))
+	if len(f) != 1 || !strings.Contains(f[0], "missing") {
+		t.Fatalf("drop not flagged: %v", f)
+	}
+}
+
+func TestDiffAllowsDeclaredRemoval(t *testing.T) {
+	base := report("old", res("A", 100, 0), res("B", 50, 0))
+	cand := report("new", res("A", 100, 0))
+	allow, err := parseAllowNew("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := diff(base, cand, 1.10, allow); len(f) != 0 {
+		t.Fatalf("declared removal still failed: %v", f)
+	}
+}
+
+func TestDiffRenameCarriesRegressionGate(t *testing.T) {
+	base := report("old", res("A", 100, 0), res("Old", 100, 0))
+	cand := report("new", res("A", 100, 0), res("New", 200, 0))
+	allow, err := parseAllowNew("Old=New")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rename is permitted, but New regressed vs Old — still a fail.
+	f := diff(base, cand, 1.10, allow)
+	if len(f) != 1 || !strings.Contains(f[0], "New (was Old)") {
+		t.Fatalf("renamed regression not flagged: %v", f)
+	}
+
+	// A clean rename passes, and Old is not reported missing.
+	cand2 := report("new", res("A", 100, 0), res("New", 95, 0))
+	if f := diff(base, cand2, 1.10, allow); len(f) != 0 {
+		t.Fatalf("clean rename failed: %v", f)
+	}
+}
+
+func TestDiffRejectsDanglingAllowances(t *testing.T) {
+	base := report("old", res("A", 100, 0))
+	cand := report("new", res("A", 100, 0))
+	for _, spec := range []string{"Ghost", "Ghost=A", "A=Ghost"} {
+		allow, err := parseAllowNew(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f := diff(base, cand, 1.10, allow); len(f) == 0 {
+			t.Fatalf("dangling allowance %q not rejected", spec)
+		}
+	}
+}
+
+func TestDiffNewBenchmarksAreFree(t *testing.T) {
+	base := report("old", res("A", 100, 0))
+	cand := report("new", res("A", 100, 0), res("Fresh", 1e9, 100))
+	if f := diff(base, cand, 1.10, noAllow(t)); len(f) != 0 {
+		t.Fatalf("new benchmark should not fail the gate: %v", f)
+	}
+}
+
+func TestParseAllowNew(t *testing.T) {
+	a, err := parseAllowNew(" Old=New , Gone ,X=Y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.renames["Old"] != "New" || a.renames["X"] != "Y" || !a.removed["Gone"] {
+		t.Fatalf("parse result: %+v", a)
+	}
+	if _, err := parseAllowNew("=New"); err == nil {
+		t.Fatal("malformed rename accepted")
+	}
+}
+
+func TestDiffNoSharedBenchmarks(t *testing.T) {
+	base := report("old", res("A", 100, 0))
+	cand := report("new", res("B", 100, 0))
+	f := diff(base, cand, 1.10, noAllow(t))
+	found := false
+	for _, msg := range f {
+		if strings.Contains(msg, "no shared benchmarks") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no-shared-benchmarks not flagged: %v", f)
+	}
+}

@@ -318,8 +318,46 @@ func benchmarks() []namedBench {
 	})
 
 	bms = append(bms, namedBench{
+		name: "NoiseFill64k",
+		fn: func(b *testing.B) {
+			st := dsp.NewStream(1)
+			noiseSig := make([]complex128, 32768)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				radio.AddAWGN(st, noiseSig, 1)
+			}
+		},
+	})
+
+	bms = append(bms, namedBench{
 		name: "NetworkRound64",
 		fn: func(b *testing.B) {
+			r := dsp.NewRand(9)
+			dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, 64, 500e3, r)
+			cfg := sim.DefaultConfig()
+			net, err := sim.NewNetwork(cfg, dep, 64, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := net.RunRound(64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+	bms = append(bms, namedBench{
+		// The tiled transmit path and batched decoder fan across a
+		// four-slot pool, bit-identical to the serial round
+		// (test-enforced). On a single hardware thread this records the
+		// parallel path's overhead floor; on multi-core machines it
+		// records round-time scaling with cores.
+		name: "NetworkRound64/parallel",
+		fn: func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(4)
+			defer runtime.GOMAXPROCS(prev)
 			r := dsp.NewRand(9)
 			dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, 64, 500e3, r)
 			cfg := sim.DefaultConfig()

@@ -52,6 +52,21 @@ type Transmission struct {
 	// bit-identical to Mixed + Superpose; parallel synthesis keeps using
 	// Mixed so a transmission intended for both regimes should set both.
 	MixedAdd func(out []complex128, at int, tmpl []complex128, fracSamples, freqOffsetHz float64, gain complex128) []complex128
+	// MixedTmpl and MixedAddRange together select the tiled channel
+	// path, the preferred regime: MixedTmpl synthesizes the frame's
+	// mixed template symbols into channel-owned scratch once per receive
+	// (core.Encoder's FrameBitsWaveformMixedTemplates), and
+	// MixedAddRange accumulates the [lo, hi) clip of the placed frame
+	// into the receive buffer from those templates
+	// (FrameBitsWaveformMixedAddRange). When every contributing
+	// transmission provides both, the channel partitions the buffer into
+	// cache-sized tiles, each accumulated and noise-filled
+	// independently — in parallel across the worker pool, bit-identical
+	// to the serial pass at any worker count. In a mixed fleet these
+	// closures are ignored (the legacy paths run); a transmission meant
+	// for both regimes should also set Mixed.
+	MixedTmpl     func(tmpl []complex128, fracSamples, freqOffsetHz float64, gain complex128) []complex128
+	MixedAddRange func(out []complex128, lo, hi, at int, tmpl []complex128, fracSamples, freqOffsetHz float64)
 	// SNRdB is the received signal-to-noise ratio at the AP over the
 	// receive bandwidth (power versus the unit noise floor).
 	SNRdB float64
@@ -70,7 +85,13 @@ type Transmission struct {
 
 // hasWave reports whether the transmission contributes any samples.
 func (tx *Transmission) hasWave() bool {
-	return tx.Mixed != nil || tx.MixedAdd != nil || tx.DelayedInto != nil || tx.Delayed != nil || len(tx.Waveform) > 0
+	return tx.Mixed != nil || tx.MixedAdd != nil || tx.MixedTmpl != nil ||
+		tx.DelayedInto != nil || tx.Delayed != nil || len(tx.Waveform) > 0
+}
+
+// tiled reports whether the transmission supports the tiled path.
+func (tx *Transmission) tiled() bool {
+	return tx.MixedTmpl != nil && tx.MixedAddRange != nil
 }
 
 // placement splits the transmission's arrival delay into the integer
@@ -112,7 +133,31 @@ type Channel struct {
 	curTxs []Transmission
 	curLo  int
 	serial bool // this receive runs on a single-slot pool (fixed per call)
+
+	// Tiled-path state: the per-transmission template arena (2N samples
+	// per device, synthesized once per receive and read by every tile),
+	// per-transmission placements, and the persistent tile/template
+	// workers with the in-flight call state they read. All of it is
+	// written before the fan-out and only read inside it.
+	tmplArena []complex128
+	tmpls     [][]complex128
+	txAt      []int
+	txFrac    []float64
+
+	tmplWorker func(i int)
+	tileWorker func(t int)
+	curOut     []complex128
+	curKey     int64
+	noiseOn    bool
 }
+
+// tileSamples is the tiled path's partition grain: 4096 complex samples
+// (64 KiB) keep a tile's accumulate and noise traffic cache-resident
+// while leaving enough tiles per frame to occupy the pool. It is a
+// constant of the output format — never derived from worker count — so
+// the tile decomposition (and with it the per-tile noise streams) is
+// identical at any GOMAXPROCS.
+const tileSamples = 4096
 
 // NewChannel returns a unit-noise channel.
 func NewChannel(p chirp.Params, rng *dsp.Rand) *Channel {
@@ -130,29 +175,37 @@ func (c *Channel) Receive(length int, txs []Transmission) []complex128 {
 // rotated by its frequency offset, delayed by its arrival offset
 // (integer placement plus an analytic or windowed-sinc fractional
 // delay, so timing offsets behave physically for both upchirps and
-// downchirps), given a random carrier phase, and superposed. Thermal
-// noise is added last.
+// downchirps), given a random carrier phase, and superposed, with
+// thermal noise added on top.
 //
-// Per-device waveform synthesis — the dominant cost with hundreds of
-// concurrent analytically-delayed frames — runs on the shared worker
-// pool. Determinism is preserved exactly: carrier phases are drawn from
-// the channel Rng in transmission order before the fan-out (the same
-// sequence the serial loop consumed), synthesis itself draws no
-// randomness, and superposition and noise stay serial in the original
-// order, so the output is bit-identical for a given seed at any
-// GOMAXPROCS.
+// When every contributing transmission supports the tiled regime
+// (MixedTmpl + MixedAddRange — the sim's round path), the whole
+// receive is tiled: templates are synthesized once per device (in
+// parallel), then fixed cache-sized tiles of out are zeroed,
+// accumulated in transmission order and noise-filled independently
+// across the worker pool. Otherwise the legacy chunked synthesis +
+// superpose path runs, followed by the same tile-grid noise.
+//
+// Determinism is exact in both regimes: carrier phases are drawn from
+// the channel Rng in transmission order before any fan-out, one more
+// serial draw keys the round's noise, synthesis draws no randomness,
+// per-sample accumulation order is transmission order regardless of
+// tile scheduling, and each tile's noise comes from its tile-indexed
+// stream (dsp.StreamAt) rather than any worker-owned generator — so
+// the output is bit-identical for a given seed at any GOMAXPROCS.
 func (c *Channel) ReceiveInto(out []complex128, txs []Transmission) []complex128 {
-	for i := range out {
-		out[i] = 0
-	}
 	if cap(c.gains) < len(txs) {
 		c.gains = make([]complex128, len(txs))
 	}
 	gains := c.gains[:len(txs)]
+	tiledAll := true
 	for i := range txs {
 		tx := &txs[i]
 		if !tx.hasWave() {
 			continue // no waveform: consumes no randomness, as before
+		}
+		if !tx.tiled() {
+			tiledAll = false
 		}
 		gain := complex(radio.AmplitudeForSNRdB(tx.SNRdB), 0)
 		if tx.FadeGain != 0 {
@@ -164,19 +217,140 @@ func (c *Channel) ReceiveInto(out []complex128, txs []Transmission) []complex128
 		gains[i] = gain
 	}
 
-	// Synthesize in bounded chunks: a chunk's waveforms are built in
-	// parallel, then superposed serially in transmission order before
-	// the next chunk starts, so peak memory stays O(chunk) frames
-	// instead of O(devices) while the sample-level output is identical.
-	// Slot buffers persist on the channel, so steady-state rounds with
-	// DelayedInto transmissions synthesize into reused storage.
-	//
-	// With a single-slot pool the fan-out would run inline anyway, so
-	// the channel takes the fused path instead: MixedAdd transmissions
-	// accumulate straight into out from their template symbols, never
-	// materializing a frame — bit-identical to synthesize + Superpose
-	// (see synth.FrameMixedAccumulate) but without the frame-sized
-	// write+read round trip per device.
+	// The round's noise key: one serial draw from the channel Rng keys
+	// every tile's noise stream (dsp.StreamAt(key, tile)). Noise is thus
+	// a pure function of the Rng sequence and the fixed tile grid —
+	// replayable by reseeding the Rng, identical at any worker count,
+	// and identical between the tiled and legacy accumulate regimes.
+	noise := c.NoisePower > 0 && c.Rng != nil
+	var key int64
+	if noise {
+		key = int64(c.Rng.Uint64())
+	}
+
+	if tiledAll {
+		// Tiled path: every contributing transmission synthesizes
+		// templates once, then disjoint tiles accumulate and
+		// noise-fill independently across the pool.
+		c.receiveTiled(out, txs, noise, key)
+		return out
+	}
+
+	for i := range out {
+		out[i] = 0
+	}
+	c.receiveLegacy(out, txs)
+	if noise {
+		c.addNoiseTiled(out, key)
+	}
+	return out
+}
+
+// receiveTiled is the tiled channel path. Phase one synthesizes every
+// transmission's mixed template symbols into the channel's template
+// arena (independent per transmission, fanned across the pool). Phase
+// two partitions out into fixed tileSamples-sized tiles; each tile
+// zeroes its span, accumulates every transmission's overlap in
+// transmission order, and adds its own noise stream — bit-identical to
+// the serial whole-buffer pass because each output sample sees the
+// same additions in the same order no matter how tiles are scheduled,
+// and each tile's noise comes from the tile-indexed stream, not from a
+// worker-owned generator.
+func (c *Channel) receiveTiled(out []complex128, txs []Transmission, noise bool, key int64) {
+	nTx := len(txs)
+	n2 := 2 * c.Params.N()
+	if cap(c.txAt) < nTx {
+		c.txAt = make([]int, nTx)
+		c.txFrac = make([]float64, nTx)
+		c.tmpls = make([][]complex128, nTx)
+	}
+	if cap(c.tmplArena) < nTx*n2 {
+		c.tmplArena = make([]complex128, nTx*n2)
+	}
+	c.txAt = c.txAt[:nTx]
+	c.txFrac = c.txFrac[:nTx]
+	c.tmpls = c.tmpls[:nTx]
+	fs := c.Params.SampleRate()
+	for i := range txs {
+		c.txAt[i], c.txFrac[i] = txs[i].placement(fs)
+		c.tmpls[i] = c.tmplArena[i*n2 : i*n2 : (i+1)*n2]
+	}
+
+	if c.tmplWorker == nil {
+		c.tmplWorker = c.tmplOne
+		c.tileWorker = c.tileOne
+	}
+	c.curTxs = txs
+	c.curOut = out
+	c.curKey = key
+	c.noiseOn = noise
+	pool.ForEach(nTx, c.tmplWorker)
+	nTiles := (len(out) + tileSamples - 1) / tileSamples
+	pool.ForEach(nTiles, c.tileWorker)
+	c.curTxs = nil
+	c.curOut = nil
+}
+
+// tmplOne synthesizes transmission i's template symbols into its arena
+// slot (frequency offset, carrier gain and fractional delay folded in).
+func (c *Channel) tmplOne(i int) {
+	tx := &c.curTxs[i]
+	if !tx.tiled() || !tx.hasWave() {
+		return
+	}
+	c.tmpls[i] = tx.MixedTmpl(c.tmpls[i], c.txFrac[i], tx.FreqOffsetHz, c.gains[i])
+}
+
+// tileOne builds tile t of the in-flight receive: zero, accumulate
+// every transmission's overlap in order, add the tile's noise stream.
+func (c *Channel) tileOne(t int) {
+	out := c.curOut
+	lo := t * tileSamples
+	hi := min(lo+tileSamples, len(out))
+	w := out[lo:hi]
+	for i := range w {
+		w[i] = 0
+	}
+	for i := range c.curTxs {
+		tx := &c.curTxs[i]
+		if !tx.tiled() {
+			continue
+		}
+		tx.MixedAddRange(out, lo, hi, c.txAt[i], c.tmpls[i], c.txFrac[i], tx.FreqOffsetHz)
+	}
+	if c.noiseOn {
+		st := dsp.StreamAt(c.curKey, uint64(t))
+		radio.AddAWGN(&st, w, c.NoisePower)
+	}
+}
+
+// addNoiseTiled adds the same tile-grid noise the tiled path would —
+// the legacy accumulate regimes share one noise definition, so a
+// channel's output depends only on its Rng sequence and configuration,
+// never on which synthesis closures the transmissions offered.
+func (c *Channel) addNoiseTiled(out []complex128, key int64) {
+	for t, lo := 0, 0; lo < len(out); t, lo = t+1, lo+tileSamples {
+		hi := min(lo+tileSamples, len(out))
+		st := dsp.StreamAt(key, uint64(t))
+		radio.AddAWGN(&st, out[lo:hi], c.NoisePower)
+	}
+}
+
+// receiveLegacy accumulates the composite signal for fleets that do not
+// (all) support the tiled path. Synthesis runs in bounded chunks: a
+// chunk's waveforms are built in parallel, then superposed serially in
+// transmission order before the next chunk starts, so peak memory stays
+// O(chunk) frames instead of O(devices) while the sample-level output
+// is identical. Slot buffers persist on the channel, so steady-state
+// rounds with DelayedInto transmissions synthesize into reused storage.
+//
+// With a single-slot pool the fan-out would run inline anyway, so the
+// channel takes the fused path instead: MixedAdd transmissions
+// accumulate straight into out from their template symbols, never
+// materializing a frame — bit-identical to synthesize + Superpose (see
+// synth.FrameMixedAccumulate) but without the frame-sized write+read
+// round trip per device.
+func (c *Channel) receiveLegacy(out []complex128, txs []Transmission) {
 	chunk := pool.Size() * 2
 	if chunk < 1 {
 		chunk = 1
@@ -231,10 +405,6 @@ func (c *Channel) ReceiveInto(out []complex128, txs []Transmission) []complex128
 		}
 	}
 	c.curTxs = nil
-	if c.NoisePower > 0 && c.Rng != nil {
-		radio.AddAWGN(c.Rng, out, c.NoisePower)
-	}
-	return out
 }
 
 // fusedAdd reports whether tx takes the fused accumulate path on this

@@ -106,6 +106,27 @@ func (e *Encoder) FrameBitsWaveformMixedAdd(out []complex128, at int, tmpl []com
 	return e.syn.FrameMixedAccumulate(out, at, tmpl, e.shift, PreambleUpSymbols, PreambleDownSymbols, bits, frac, omega, gain)
 }
 
+// FrameBitsWaveformMixedTemplates synthesizes the mixed frame's
+// template symbols into tmpl (grown to 2N and returned for reuse) —
+// the per-device setup step of the tiled channel path, after which any
+// sub-range of a receive buffer can be accumulated with
+// FrameBitsWaveformMixedAddRange.
+func (e *Encoder) FrameBitsWaveformMixedTemplates(tmpl []complex128, bits []byte, frac, freqOffsetHz float64, gain complex128) []complex128 {
+	omega := 2 * math.Pi * freqOffsetHz / e.p.SampleRate()
+	return e.syn.FrameMixedTemplates(tmpl, e.shift, PreambleUpSymbols, PreambleDownSymbols, bits, frac, omega, gain)
+}
+
+// FrameBitsWaveformMixedAddRange accumulates the [lo, hi) clip of the
+// mixed frame (placed at sample offset at) into out, reading templates
+// prepared by FrameBitsWaveformMixedTemplates with the same arguments.
+// Accumulating disjoint tiles that cover the buffer reproduces
+// FrameBitsWaveformMixedAdd bit for bit (see
+// synth.FrameMixedAccumulateRange).
+func (e *Encoder) FrameBitsWaveformMixedAddRange(out []complex128, lo, hi, at int, tmpl []complex128, bits []byte, frac, freqOffsetHz float64) {
+	omega := 2 * math.Pi * freqOffsetHz / e.p.SampleRate()
+	e.syn.FrameMixedAccumulateRange(out, lo, hi, at, tmpl, PreambleUpSymbols, PreambleDownSymbols, bits, frac, omega)
+}
+
 // OnFraction returns the fraction of payload symbols that carry energy
 // for the given bits — used by energy accounting in the simulator.
 func OnFraction(bits []byte) float64 {

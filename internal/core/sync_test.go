@@ -89,7 +89,7 @@ func TestMidpointOffsetsResolvesInjectedOffsets(t *testing.T) {
 		{shift: 120, dtBins: -0.3, dfBins: 0.2},
 	}
 	for _, tc := range cases {
-		rng := dsp.NewRand(int64(tc.shift)*100 + 3)
+		rng := dsp.NewRand(int64(tc.shift)*100 + 4)
 		enc := NewEncoder(p, tc.shift)
 		ch := air.NewChannel(p, rng)
 		ch.NoisePower = 0.01 // near-clean for estimator accuracy checks

@@ -217,12 +217,19 @@ func (bp *BatchPlan) fusedFirstStage(re, im []float64, base int) {
 	z := bp.z
 	st := &bp.stages[0]
 	twr, twi := st.twr[:z], st.twi[:z]
+	vector := simdAVX2 && z >= 4
 	for start := base + bp.block - 2*z; start >= base; start -= 2 * z {
 		pv := start / z
 		v0r, v0i := re[pv], im[pv]
 		v1r, v1i := re[pv+1], im[pv+1]
 		or := re[start : start+2*z]
 		oi := im[start : start+2*z]
+		if vector {
+			// The prefix values are already in locals, so the kernel is
+			// free to overwrite the chunk that contains them.
+			firstStageAVX2(or, oi, twr, twi, v0r, v0i, v1r, v1i)
+			continue
+		}
 		for j := 0; j < z; j++ {
 			wr, wi := twr[j], twi[j]
 			tr := wr*v1r - wi*v1i
@@ -243,6 +250,17 @@ func (bp *BatchPlan) stageSpan(re, im []float64, base, span int, si int) {
 	st := &bp.stages[si]
 	size := st.size
 	half := size >> 1
+	if simdAVX2 && half >= 4 {
+		// Vector lanes run the identical expressions on independent
+		// elements — bit-exact with the scalar body (see simd.go).
+		for start := base; start < base+span; start += size {
+			stageAVX2(
+				re[start:start+half], im[start:start+half],
+				re[start+half:start+size], im[start+half:start+size],
+				st.twr[:half], st.twi[:half])
+		}
+		return
+	}
 	for start := base; start < base+span; start += size {
 		ar := re[start : start+half : start+half]
 		ai := im[start : start+half : start+half]
@@ -277,6 +295,14 @@ func (bp *BatchPlan) stagePairSpan(re, im []float64, base, span int, si int) {
 	st2 := &bp.stages[si+1]
 	s := st1.size
 	h := s >> 1
+	if simdAVX2 && h >= 4 {
+		// Same fused two-stage flow with the intermediates in vector
+		// registers; bit-exact with the scalar body (see simd.go).
+		for start := base; start < base+span; start += 2 * s {
+			stagePairAVX2(re, im, start, h, st1.twr, st1.twi, st2.twr, st2.twi)
+		}
+		return
+	}
 	for start := base; start < base+span; start += 2 * s {
 		ar := re[start+0*h : start+1*h : start+1*h]
 		ai := im[start+0*h : start+1*h : start+1*h]

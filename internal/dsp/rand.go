@@ -1,6 +1,7 @@
 package dsp
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -23,9 +24,18 @@ func (r *Rand) Normal(mean, sigma float64) float64 {
 }
 
 // TruncNormal draws from N(mean, sigma²) truncated to [lo, hi] by
-// rejection (the simulator only uses mild truncation, so this terminates
-// quickly).
+// rejection. The simulator only uses mild truncation (the bounds retain
+// a non-negligible share of the mass), where the first draw almost
+// always lands inside and the loop is effectively free. Extreme
+// truncation is outside the contract: after 1000 rejected draws the
+// result is Clamp(mean, lo, hi) — a deliberate, documented fallback so
+// a pathological parameterization degrades to a deterministic in-range
+// value instead of spinning. Degenerate bounds (lo > hi, or NaN) are a
+// caller bug and panic.
 func (r *Rand) TruncNormal(mean, sigma, lo, hi float64) float64 {
+	if !(lo <= hi) {
+		panic(fmt.Sprintf("dsp: TruncNormal degenerate bounds [%v, %v]", lo, hi))
+	}
 	for i := 0; i < 1000; i++ {
 		v := r.Normal(mean, sigma)
 		if v >= lo && v <= hi {
@@ -76,18 +86,42 @@ func (r *Rand) Bytes(n int) []byte {
 }
 
 // FillBytes fills b with random bytes, drawing the same sequence Bytes
-// would — callers with arenas refill in place without allocating.
+// would — callers with arenas refill in place without allocating. Each
+// Uint64 draw yields eight bytes (little-endian), so a payload refill
+// costs n/8 generator steps instead of one Intn per byte.
 func (r *Rand) FillBytes(b []byte) {
-	for i := range b {
-		b[i] = byte(r.Intn(256))
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		u := r.Uint64()
+		b[i+0] = byte(u)
+		b[i+1] = byte(u >> 8)
+		b[i+2] = byte(u >> 16)
+		b[i+3] = byte(u >> 24)
+		b[i+4] = byte(u >> 32)
+		b[i+5] = byte(u >> 40)
+		b[i+6] = byte(u >> 48)
+		b[i+7] = byte(u >> 56)
+	}
+	if i < len(b) {
+		u := r.Uint64()
+		for ; i < len(b); i++ {
+			b[i] = byte(u)
+			u >>= 8
+		}
 	}
 }
 
-// Bits returns n random bits.
+// Bits returns n random bits, one Uint64 draw per 64 bits (consumed
+// least-significant first).
 func (r *Rand) Bits(n int) []byte {
 	b := make([]byte, n)
+	var u uint64
 	for i := range b {
-		b[i] = byte(r.Intn(2))
+		if i&63 == 0 {
+			u = r.Uint64()
+		}
+		b[i] = byte(u & 1)
+		u >>= 1
 	}
 	return b
 }

@@ -1,0 +1,133 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBytesFillBytesEquivalence pins the documented contract: Bytes(n)
+// and FillBytes over a fresh n-slice consume the generator identically
+// and produce the same bytes, for lengths on both sides of the 8-byte
+// refill chunk.
+func TestBytesFillBytesEquivalence(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 37, 256} {
+		a := NewRand(21)
+		b := NewRand(21)
+		got := a.Bytes(n)
+		want := make([]byte, n)
+		b.FillBytes(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: Bytes[%d] = %#x, FillBytes = %#x", n, i, got[i], want[i])
+			}
+		}
+		// Both generators must end in the same state.
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("n=%d: Bytes and FillBytes consumed different draw counts", n)
+		}
+	}
+}
+
+// TestFillBytesDrawEconomy checks the refill really spends one Uint64
+// per eight bytes: a 64-byte fill advances the generator exactly eight
+// draws.
+func TestFillBytesDrawEconomy(t *testing.T) {
+	a := NewRand(5)
+	b := NewRand(5)
+	a.FillBytes(make([]byte, 64))
+	for i := 0; i < 8; i++ {
+		b.Uint64()
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("FillBytes(64 bytes) did not consume exactly 8 Uint64 draws")
+	}
+}
+
+func TestFillBytesUniform(t *testing.T) {
+	rng := NewRand(6)
+	const n = 256000
+	buf := make([]byte, n)
+	rng.FillBytes(buf)
+	var counts [256]int
+	for _, v := range buf {
+		counts[v]++
+	}
+	// χ² against uniform: 255 dof, 0.999 quantile ≈ 330.5.
+	expected := float64(n) / 256
+	sum := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		sum += d * d / expected
+	}
+	if sum > 330.5 {
+		t.Fatalf("byte χ² = %v, want < 330.5", sum)
+	}
+}
+
+func TestBitsBalancedAndBinary(t *testing.T) {
+	rng := NewRand(7)
+	const n = 100000
+	bits := rng.Bits(n)
+	ones := 0
+	for _, b := range bits {
+		if b != 0 && b != 1 {
+			t.Fatalf("non-binary bit %d", b)
+		}
+		ones += int(b)
+	}
+	if frac := float64(ones) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("ones fraction %v", frac)
+	}
+}
+
+// TestTruncNormalMildFastPath pins the mild-truncation contract: with
+// bounds holding most of the mass the draw lands inside on the first
+// try essentially always (no clamp artifacts), and the truncated sample
+// keeps the parent's center.
+func TestTruncNormalMildFastPath(t *testing.T) {
+	rng := NewRand(8)
+	const n = 50000
+	sum := 0.0
+	atBounds := 0
+	for i := 0; i < n; i++ {
+		v := rng.TruncNormal(1, 0.5, -0.5, 2.5) // ±3σ: ~99.7% mass
+		if v < -0.5 || v > 2.5 {
+			t.Fatalf("draw %v outside bounds", v)
+		}
+		if v == -0.5 || v == 2.5 {
+			atBounds++ // a clamp would sit exactly on a bound
+		}
+		sum += v
+	}
+	if atBounds > 0 {
+		t.Fatalf("%d draws clamped to a bound under mild truncation", atBounds)
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("truncated mean %v, want ~1", mean)
+	}
+}
+
+// TestTruncNormalExtremeClamps documents the fallback: truncation so
+// extreme that 1000 rejections fire returns the clamped mean — a
+// deterministic in-range value, not a hang.
+func TestTruncNormalExtremeClamps(t *testing.T) {
+	rng := NewRand(9)
+	v := rng.TruncNormal(0, 1e-12, 5, 6) // mass at the bounds ≈ 0
+	if v != 5 {
+		t.Fatalf("extreme truncation returned %v, want clamp to 5", v)
+	}
+}
+
+func TestTruncNormalPanicsOnDegenerateBounds(t *testing.T) {
+	rng := NewRand(10)
+	for _, bounds := range [][2]float64{{1, -1}, {math.NaN(), 1}, {0, math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for bounds [%v, %v]", bounds[0], bounds[1])
+				}
+			}()
+			rng.TruncNormal(0, 1, bounds[0], bounds[1])
+		}()
+	}
+}

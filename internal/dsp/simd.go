@@ -1,0 +1,66 @@
+package dsp
+
+// SIMD dispatch for the repository's two hottest inner loops: the
+// complex accumulate kernels (the fused transmit path adds hundreds of
+// template-symbol segments into the receive buffer per round) and the
+// planar FFT butterfly stages (the receive cascade). Each kernel has a
+// pure-Go scalar body — the reference — and an AVX2 body selected at
+// init on amd64 when the CPU and OS support it.
+//
+// Bit-exactness contract: every vector lane performs exactly the
+// scalar body's operation sequence on its element (unfused multiplies
+// and adds, no FMA, same expression order), and lanes are independent,
+// so vector and scalar paths produce bit-identical results. Tests
+// enforce this by running both paths on random inputs and comparing
+// exactly; the decode-side oracle suites (BatchPlan vs ForwardPruned,
+// accumulate vs materialize+superpose) then pin it end to end.
+
+// simdAVX2 reports whether the AVX2 kernel bodies are in use. It is a
+// variable, not a constant, so tests can force the scalar path and
+// compare the two bitwise.
+var simdAVX2 = false
+
+// SIMDEnabled reports whether vector kernel bodies are active.
+func SIMDEnabled() bool { return simdAVX2 }
+
+// AddInto adds src into dst element-wise: dst[i] += src[i]. The slices
+// must have equal length; mismatches panic identically on the scalar
+// and vector paths, so misuse cannot be platform-dependent.
+func AddInto(dst, src []complex128) {
+	if len(src) != len(dst) {
+		panic("dsp: AddInto length mismatch")
+	}
+	if simdAVX2 && len(dst) >= 2 {
+		addIntoAVX2(dst, src)
+		return
+	}
+	addIntoScalar(dst, src)
+}
+
+func addIntoScalar(dst, src []complex128) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// AxpyInto accumulates a constant complex multiple of src into dst:
+// dst[i] += src[i]·c, with the product expanded exactly as Go's
+// complex multiply (re·re − im·im, re·im + im·re). The slices must
+// have equal length; mismatches panic on both paths.
+func AxpyInto(dst, src []complex128, c complex128) {
+	if len(src) != len(dst) {
+		panic("dsp: AxpyInto length mismatch")
+	}
+	if simdAVX2 && len(dst) >= 2 {
+		axpyIntoAVX2(dst, src, c)
+		return
+	}
+	axpyIntoScalar(dst, src, c)
+}
+
+func axpyIntoScalar(dst, src []complex128, c complex128) {
+	for i := range dst {
+		t := src[i] * c
+		dst[i] += t
+	}
+}

@@ -1,0 +1,45 @@
+//go:build amd64
+
+package dsp
+
+// CPUID-based feature detection. The vector bodies need AVX2 plus OS
+// support for saving ymm state (OSXSAVE + XCR0 bits 1 and 2). There is
+// no build-time assumption: on CPUs or kernels without support every
+// dispatch stays on the scalar bodies.
+
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return
+	}
+	if lo, _ := xgetbv(); lo&6 != 6 { // XMM and YMM state enabled by the OS
+		return
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	simdAVX2 = b7&avx2 != 0
+}
+
+//go:noescape
+func addIntoAVX2(dst, src []complex128)
+
+//go:noescape
+func axpyIntoAVX2(dst, src []complex128, c complex128)
+
+//go:noescape
+func stageAVX2(are, aim, bre, bim, twr, twi []float64)
+
+//go:noescape
+func stagePairAVX2(re, im []float64, start, h int, w1r, w1i, w2r, w2i []float64)
+
+//go:noescape
+func firstStageAVX2(or, oi, twr, twi []float64, v0r, v0i, v1r, v1i float64)

@@ -1,0 +1,322 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func addIntoAVX2(dst, src []complex128)
+//
+// dst[i] += src[i]. Lanes are independent doubles; VADDPD performs the
+// same IEEE addition the scalar body does, so results are bit-identical.
+TEXT ·addIntoAVX2(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ dst_len+8(FP), DX
+	MOVQ DX, CX
+	SHRQ $1, CX        // pairs of complex128 = 32-byte chunks
+	JZ   tail
+
+loop:
+	VMOVUPD (DI), Y0
+	VMOVUPD (SI), Y1
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD Y0, (DI)
+	ADDQ    $32, DI
+	ADDQ    $32, SI
+	DECQ    CX
+	JNZ     loop
+
+tail:
+	ANDQ $1, DX
+	JZ   done
+	VMOVUPD (DI), X0
+	VMOVUPD (SI), X1
+	VADDPD  X1, X0, X0
+	VMOVUPD X0, (DI)
+
+done:
+	VZEROUPPER
+	RET
+
+// func axpyIntoAVX2(dst, src []complex128, c complex128)
+//
+// dst[i] += src[i]·c with the complex product expanded exactly as the
+// scalar body: re = sr·cr − si·ci (two multiplies, one subtract),
+// im = si·cr + sr·ci (two multiplies, one add — addition commuted
+// against the scalar body, which is bitwise-neutral). VADDSUBPD
+// performs the subtract on even (real) lanes and the add on odd
+// (imaginary) lanes in one instruction.
+TEXT ·axpyIntoAVX2(SB), NOSPLIT, $0-64
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ dst_len+8(FP), DX
+	VBROADCASTSD c_real+48(FP), Y2 // [cr cr cr cr]
+	VBROADCASTSD c_imag+56(FP), Y3 // [ci ci ci ci]
+	MOVQ DX, CX
+	SHRQ $1, CX
+	JZ   tail
+
+loop:
+	VMOVUPD   (SI), Y0       // [sr0 si0 sr1 si1]
+	VPERMILPD $0x5, Y0, Y1   // [si0 sr0 si1 sr1]
+	VMULPD    Y2, Y0, Y0     // [sr·cr, si·cr, …]
+	VMULPD    Y3, Y1, Y1     // [si·ci, sr·ci, …]
+	VADDSUBPD Y1, Y0, Y0     // [sr·cr−si·ci, si·cr+sr·ci, …]
+	VMOVUPD   (DI), Y4
+	VADDPD    Y4, Y0, Y0
+	VMOVUPD   Y0, (DI)
+	ADDQ      $32, DI
+	ADDQ      $32, SI
+	DECQ      CX
+	JNZ       loop
+
+tail:
+	ANDQ $1, DX
+	JZ   done
+	VMOVUPD   (SI), X0
+	VPERMILPD $0x1, X0, X1
+	VMULPD    X2, X0, X0
+	VMULPD    X3, X1, X1
+	VADDSUBPD X1, X0, X0
+	VMOVUPD   (DI), X4
+	VADDPD    X4, X0, X0
+	VMOVUPD   X0, (DI)
+
+done:
+	VZEROUPPER
+	RET
+
+// func stageAVX2(are, aim, bre, bim, twr, twi []float64)
+//
+// One radix-2 butterfly stage over planar halves a and b:
+//
+//	t  = w·b   (complex, expanded as in stageSpan)
+//	b' = a − t
+//	a' = a + t
+//
+// len(twr) elements, caller guarantees a multiple of 4. Each j is an
+// independent lane running the scalar expressions verbatim.
+TEXT ·stageAVX2(SB), NOSPLIT, $0-144
+	MOVQ are_base+0(FP), R8
+	MOVQ aim_base+24(FP), R9
+	MOVQ bre_base+48(FP), R10
+	MOVQ bim_base+72(FP), R11
+	MOVQ twr_base+96(FP), R12
+	MOVQ twi_base+120(FP), R13
+	MOVQ twr_len+104(FP), CX
+	XORQ AX, AX
+
+loop:
+	VMOVUPD (R12)(AX*8), Y0 // wr
+	VMOVUPD (R13)(AX*8), Y1 // wi
+	VMOVUPD (R10)(AX*8), Y2 // xr
+	VMOVUPD (R11)(AX*8), Y3 // xi
+	VMULPD  Y2, Y0, Y4      // wr·xr
+	VMULPD  Y3, Y1, Y5      // wi·xi
+	VSUBPD  Y5, Y4, Y4      // tr = wr·xr − wi·xi
+	VMULPD  Y3, Y0, Y5      // wr·xi
+	VMULPD  Y2, Y1, Y6      // wi·xr
+	VADDPD  Y6, Y5, Y5      // ti = wr·xi + wi·xr
+	VMOVUPD (R8)(AX*8), Y2  // ur
+	VMOVUPD (R9)(AX*8), Y3  // ui
+	VSUBPD  Y4, Y2, Y6      // ur − tr
+	VMOVUPD Y6, (R10)(AX*8)
+	VSUBPD  Y5, Y3, Y6      // ui − ti
+	VMOVUPD Y6, (R11)(AX*8)
+	VADDPD  Y4, Y2, Y6      // ur + tr
+	VMOVUPD Y6, (R8)(AX*8)
+	VADDPD  Y5, Y3, Y6      // ui + ti
+	VMOVUPD Y6, (R9)(AX*8)
+	ADDQ    $4, AX
+	CMPQ    AX, CX
+	JL      loop
+
+	VZEROUPPER
+	RET
+
+// func stagePairAVX2(re, im []float64, start, h int, w1r, w1i, w2r, w2i []float64)
+//
+// One fused group of BatchPlan.stagePairSpan: the four planar quarters
+// a/b/c/d of length h at re[start:], im[start:] flow through their two
+// size-s butterflies (twiddles w1) and two size-2s butterflies
+// (twiddles w2[:h] and w2[h:2h]) with intermediates in registers.
+// Caller guarantees h a multiple of 4. Every butterfly computes the
+// scalar stagePairSpan expressions lane for lane.
+// Register budget: the fourteen array pointers (four planar quarters
+// per plane plus six twiddle pointers) take every general-purpose
+// register except BP/SP, so the loop advances the pointers in place and
+// keeps its end sentinel (w1r + 8h) in the local stack slot.
+TEXT ·stagePairAVX2(SB), NOSPLIT, $8-160
+	MOVQ re_base+0(FP), R8   // a_re
+	MOVQ im_base+24(FP), R12 // a_im
+	MOVQ start+48(FP), AX
+	LEAQ (R8)(AX*8), R8
+	LEAQ (R12)(AX*8), R12
+	MOVQ h+56(FP), AX
+	LEAQ (R8)(AX*8), R9   // b_re
+	LEAQ (R9)(AX*8), R10  // c_re
+	LEAQ (R10)(AX*8), R11 // d_re
+	LEAQ (R12)(AX*8), R13 // b_im
+	LEAQ (R13)(AX*8), R14 // c_im
+	LEAQ (R14)(AX*8), R15 // d_im
+	MOVQ w1r_base+64(FP), BX
+	MOVQ w1i_base+88(FP), CX
+	MOVQ w2r_base+112(FP), DX
+	MOVQ w2i_base+136(FP), SI
+	LEAQ (DX)(AX*8), DI // w2b real = w2r[h:]
+	LEAQ (BX)(AX*8), AX
+	MOVQ AX, 0(SP)      // end sentinel: w1r + 8h
+	MOVQ h+56(FP), AX
+	LEAQ (SI)(AX*8), AX // w2b imag = w2i[h:]
+
+loop:
+	VMOVUPD (BX), Y0  // wr
+	VMOVUPD (CX), Y1  // wi
+	VMOVUPD (R9), Y2  // xr = b_re
+	VMOVUPD (R13), Y3 // xi = b_im
+	VMULPD  Y2, Y0, Y4
+	VMULPD  Y3, Y1, Y5
+	VSUBPD  Y5, Y4, Y4 // t1r
+	VMULPD  Y3, Y0, Y5
+	VMULPD  Y2, Y1, Y6
+	VADDPD  Y6, Y5, Y5 // t1i
+	VMOVUPD (R8), Y2   // ur = a_re
+	VMOVUPD (R12), Y3  // ui = a_im
+	VSUBPD  Y4, Y2, Y6 // b1r = ur − t1r
+	VSUBPD  Y5, Y3, Y7 // b1i
+	VADDPD  Y4, Y2, Y8 // a1r
+	VADDPD  Y5, Y3, Y9 // a1i
+
+	VMOVUPD (R11), Y2     // yr = d_re
+	VMOVUPD (R15), Y3     // yi = d_im
+	VMULPD  Y2, Y0, Y4
+	VMULPD  Y3, Y1, Y10
+	VSUBPD  Y10, Y4, Y4   // t2r
+	VMULPD  Y3, Y0, Y10
+	VMULPD  Y2, Y1, Y11
+	VADDPD  Y11, Y10, Y10 // t2i
+	VMOVUPD (R10), Y2     // vr = c_re
+	VMOVUPD (R14), Y3     // vi = c_im
+	VSUBPD  Y4, Y2, Y11   // d1r = vr − t2r
+	VSUBPD  Y10, Y3, Y12  // d1i
+	VADDPD  Y4, Y2, Y13   // c1r
+	VADDPD  Y10, Y3, Y14  // c1i
+
+	VMOVUPD (DX), Y0   // pr = w2a real
+	VMOVUPD (SI), Y1   // pi
+	VMULPD  Y13, Y0, Y2
+	VMULPD  Y14, Y1, Y3
+	VSUBPD  Y3, Y2, Y2 // t3r = pr·c1r − pi·c1i
+	VMULPD  Y14, Y0, Y3
+	VMULPD  Y13, Y1, Y4
+	VADDPD  Y4, Y3, Y3 // t3i = pr·c1i + pi·c1r
+	VSUBPD  Y2, Y8, Y4 // c' = a1r − t3r
+	VMOVUPD Y4, (R10)
+	VSUBPD  Y3, Y9, Y4
+	VMOVUPD Y4, (R14)
+	VADDPD  Y2, Y8, Y4 // a' = a1r + t3r
+	VMOVUPD Y4, (R8)
+	VADDPD  Y3, Y9, Y4
+	VMOVUPD Y4, (R12)
+
+	VMOVUPD (DI), Y0   // qr = w2b real
+	VMOVUPD (AX), Y1   // qi = w2b imag
+	VMULPD  Y11, Y0, Y2
+	VMULPD  Y12, Y1, Y3
+	VSUBPD  Y3, Y2, Y2 // t4r
+	VMULPD  Y12, Y0, Y3
+	VMULPD  Y11, Y1, Y4
+	VADDPD  Y4, Y3, Y3 // t4i
+	VSUBPD  Y2, Y6, Y4 // d' = b1r − t4r
+	VMOVUPD Y4, (R11)
+	VSUBPD  Y3, Y7, Y4
+	VMOVUPD Y4, (R15)
+	VADDPD  Y2, Y6, Y4 // b' = b1r + t4r
+	VMOVUPD Y4, (R9)
+	VADDPD  Y3, Y7, Y4
+	VMOVUPD Y4, (R13)
+
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, R12
+	ADDQ $32, R13
+	ADDQ $32, R14
+	ADDQ $32, R15
+	ADDQ $32, BX
+	ADDQ $32, CX
+	ADDQ $32, DX
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, AX
+	CMPQ BX, 0(SP)
+	JB   loop
+
+	VZEROUPPER
+	RET
+
+// func firstStageAVX2(or, oi, twr, twi []float64, v0r, v0i, v1r, v1i float64)
+//
+// The fused zero-pad broadcast stage over one 2z-chunk: with the
+// chunk's two prefix values (v0, v1) broadcast to all lanes,
+//
+//	t       = w·v1
+//	o[j]    = v0 + t
+//	o[z+j]  = v0 − t
+//
+// for j in [0, z), z = len(twr), a multiple of 4 (caller-guaranteed).
+TEXT ·firstStageAVX2(SB), NOSPLIT, $0-128
+	MOVQ or_base+0(FP), R8
+	MOVQ oi_base+24(FP), R9
+	MOVQ twr_base+48(FP), R10
+	MOVQ twi_base+72(FP), R11
+	MOVQ twr_len+56(FP), CX // z
+	LEAQ (R8)(CX*8), R12    // or upper half
+	LEAQ (R9)(CX*8), R13    // oi upper half
+	VBROADCASTSD v0r+96(FP), Y8
+	VBROADCASTSD v0i+104(FP), Y9
+	VBROADCASTSD v1r+112(FP), Y10
+	VBROADCASTSD v1i+120(FP), Y11
+	XORQ AX, AX
+
+loop:
+	VMOVUPD (R10)(AX*8), Y0 // wr
+	VMOVUPD (R11)(AX*8), Y1 // wi
+	VMULPD  Y10, Y0, Y2     // wr·v1r
+	VMULPD  Y11, Y1, Y3     // wi·v1i
+	VSUBPD  Y3, Y2, Y2      // tr
+	VMULPD  Y11, Y0, Y3     // wr·v1i
+	VMULPD  Y10, Y1, Y4     // wi·v1r
+	VADDPD  Y4, Y3, Y3      // ti
+	VADDPD  Y2, Y8, Y4      // v0r + tr
+	VMOVUPD Y4, (R8)(AX*8)
+	VADDPD  Y3, Y9, Y4      // v0i + ti
+	VMOVUPD Y4, (R9)(AX*8)
+	VSUBPD  Y2, Y8, Y4      // v0r − tr
+	VMOVUPD Y4, (R12)(AX*8)
+	VSUBPD  Y3, Y9, Y4      // v0i − ti
+	VMOVUPD Y4, (R13)(AX*8)
+	ADDQ    $4, AX
+	CMPQ    AX, CX
+	JL      loop
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,26 @@
+//go:build !amd64
+
+package dsp
+
+// Non-amd64 builds never flip simdAVX2, so these bodies are
+// unreachable; they exist to satisfy the dispatch call sites.
+
+func addIntoAVX2(dst, src []complex128) {
+	panic("dsp: AVX2 kernel called without AVX2 support")
+}
+
+func axpyIntoAVX2(dst, src []complex128, c complex128) {
+	panic("dsp: AVX2 kernel called without AVX2 support")
+}
+
+func stageAVX2(are, aim, bre, bim, twr, twi []float64) {
+	panic("dsp: AVX2 kernel called without AVX2 support")
+}
+
+func stagePairAVX2(re, im []float64, start, h int, w1r, w1i, w2r, w2i []float64) {
+	panic("dsp: AVX2 kernel called without AVX2 support")
+}
+
+func firstStageAVX2(or, oi, twr, twi []float64, v0r, v0i, v1r, v1i float64) {
+	panic("dsp: AVX2 kernel called without AVX2 support")
+}

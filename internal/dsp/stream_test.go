@@ -1,0 +1,265 @@
+package dsp
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestStreamDeterministicAndSplittable(t *testing.T) {
+	a := StreamAt(42, 7)
+	b := StreamAt(42, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same (seed, index) diverged")
+		}
+	}
+	// Different indices and different seeds must give different
+	// sequences.
+	c := StreamAt(42, 8)
+	d := StreamAt(43, 7)
+	base := StreamAt(42, 7)
+	sameC, sameD := 0, 0
+	for i := 0; i < 64; i++ {
+		v := base.Uint64()
+		if c.Uint64() == v {
+			sameC++
+		}
+		if d.Uint64() == v {
+			sameD++
+		}
+	}
+	if sameC > 2 || sameD > 2 {
+		t.Fatalf("derived streams correlate with base: %d/%d matches", sameC, sameD)
+	}
+}
+
+func TestStreamAtIndexIsNotWorkerDependent(t *testing.T) {
+	// The stream index is the only split input: deriving the same index
+	// twice, in any order, yields the same stream — the property the
+	// tiled channel path's determinism rests on.
+	order1 := []uint64{0, 1, 2, 3}
+	order2 := []uint64{3, 1, 0, 2}
+	got := map[uint64]uint64{}
+	for _, i := range order1 {
+		st := StreamAt(9, i)
+		got[i] = st.Uint64()
+	}
+	for _, i := range order2 {
+		st := StreamAt(9, i)
+		if st.Uint64() != got[i] {
+			t.Fatalf("stream %d depends on derivation order", i)
+		}
+	}
+}
+
+func TestStreamFloat64Range(t *testing.T) {
+	st := NewStream(1)
+	for i := 0; i < 100000; i++ {
+		v := st.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+// TestNormBatchMatchesNormFloat64 pins the documented equivalence: a
+// batch fill consumes the generator exactly as sequential scalar draws
+// do, so mixing the two APIs cannot fork the stream.
+func TestNormBatchMatchesNormFloat64(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 128, 4097} {
+		a := StreamAt(5, 11)
+		b := StreamAt(5, 11)
+		batch := make([]float64, n)
+		a.NormBatch(batch)
+		for i := 0; i < n; i++ {
+			if v := b.NormFloat64(); v != batch[i] {
+				t.Fatalf("n=%d: batch[%d] = %v, scalar draw = %v", n, i, batch[i], v)
+			}
+		}
+		// The post-fill states must agree too.
+		if a != b {
+			t.Fatalf("n=%d: states diverged after fill", n)
+		}
+	}
+}
+
+// moments4 returns mean, variance, skewness and excess-free kurtosis of
+// xs.
+func moments4(xs []float64) (mean, variance, skew, kurt float64) {
+	n := float64(len(xs))
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	var m2, m3, m4 float64
+	for _, x := range xs {
+		d := x - mean
+		m2 += d * d
+		m3 += d * d * d
+		m4 += d * d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	m4 /= n
+	return mean, m2, m3 / math.Pow(m2, 1.5), m4 / (m2 * m2)
+}
+
+// TestNormBatchFirstFourMoments checks the ziggurat sampler's first
+// four moments against N(0,1) and against the math/rand oracle drawn at
+// the same sample size, with tolerances a few times the standard error.
+func TestNormBatchFirstFourMoments(t *testing.T) {
+	const n = 400000
+	st := NewStream(77)
+	xs := make([]float64, n)
+	st.NormBatch(xs)
+	mean, variance, skew, kurt := moments4(xs)
+
+	oracle := NewRand(77)
+	ys := make([]float64, n)
+	for i := range ys {
+		ys[i] = oracle.NormFloat64()
+	}
+	omean, ovar, oskew, okurt := moments4(ys)
+
+	// Standard errors at n=4e5: mean ~1.6e-3, var ~2.2e-3, skew ~3.9e-3,
+	// kurt ~7.7e-3; allow ~4σ plus the oracle's own wobble.
+	checks := []struct {
+		name             string
+		got, want, oracl float64
+		tol              float64
+	}{
+		{"mean", mean, 0, omean, 0.01},
+		{"variance", variance, 1, ovar, 0.015},
+		{"skewness", skew, 0, oskew, 0.03},
+		{"kurtosis", kurt, 3, okurt, 0.08},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > c.tol {
+			t.Errorf("%s = %v, want %v ± %v", c.name, c.got, c.want, c.tol)
+		}
+		if math.Abs(c.got-c.oracl) > 2*c.tol {
+			t.Errorf("%s = %v diverges from oracle %v", c.name, c.got, c.oracl)
+		}
+	}
+}
+
+// normCDF is Φ(x) for the KS reference.
+func normCDF(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
+
+// ksStatistic returns the one-sample Kolmogorov–Smirnov statistic of xs
+// (sorted in place) against cdf.
+func ksStatistic(xs []float64, cdf func(float64) float64) float64 {
+	sort.Float64s(xs)
+	n := float64(len(xs))
+	d := 0.0
+	for i, x := range xs {
+		f := cdf(x)
+		if hi := float64(i+1)/n - f; hi > d {
+			d = hi
+		}
+		if lo := f - float64(i)/n; lo > d {
+			d = lo
+		}
+	}
+	return d
+}
+
+// TestNormBatchKolmogorovSmirnov runs a one-sample KS test of the
+// ziggurat sampler against Φ at α≈0.001 (critical value 1.95/√n), and
+// requires the math/rand oracle to pass the identical test, so a
+// too-strict threshold would flag itself.
+func TestNormBatchKolmogorovSmirnov(t *testing.T) {
+	const n = 200000
+	crit := 1.95 / math.Sqrt(n)
+
+	st := NewStream(123)
+	xs := make([]float64, n)
+	st.NormBatch(xs)
+	if d := ksStatistic(xs, normCDF); d > crit {
+		t.Errorf("ziggurat KS statistic %v exceeds %v", d, crit)
+	}
+
+	oracle := NewRand(123)
+	ys := make([]float64, n)
+	for i := range ys {
+		ys[i] = oracle.NormFloat64()
+	}
+	if d := ksStatistic(ys, normCDF); d > crit {
+		t.Errorf("oracle KS statistic %v exceeds %v (threshold too strict)", d, crit)
+	}
+}
+
+// TestNormBatchChiSquare bins ziggurat samples into 32 equiprobable
+// cells of Φ and checks the χ² statistic against the 31-dof 0.999
+// quantile (~61.1); the oracle must pass identically.
+func TestNormBatchChiSquare(t *testing.T) {
+	const n = 320000
+	const cells = 32
+	const crit = 61.1
+
+	chi2 := func(xs []float64) float64 {
+		var counts [cells]int
+		for _, x := range xs {
+			c := int(normCDF(x) * cells)
+			if c >= cells {
+				c = cells - 1
+			}
+			counts[c]++
+		}
+		expected := float64(n) / cells
+		sum := 0.0
+		for _, c := range counts {
+			d := float64(c) - expected
+			sum += d * d / expected
+		}
+		return sum
+	}
+
+	st := NewStream(99)
+	xs := make([]float64, n)
+	st.NormBatch(xs)
+	if got := chi2(xs); got > crit {
+		t.Errorf("ziggurat χ² = %v exceeds %v", got, crit)
+	}
+	oracle := NewRand(99)
+	ys := make([]float64, n)
+	for i := range ys {
+		ys[i] = oracle.NormFloat64()
+	}
+	if got := chi2(ys); got > crit {
+		t.Errorf("oracle χ² = %v exceeds %v (threshold too strict)", got, crit)
+	}
+}
+
+// TestStreamCrossCorrelation checks that sibling streams are
+// decorrelated: the empirical correlation of N(0,1) draws from streams
+// i and i+1 stays within a few standard errors of zero.
+func TestStreamCrossCorrelation(t *testing.T) {
+	const n = 100000
+	for _, pair := range [][2]uint64{{0, 1}, {5, 6}, {1000, 1001}} {
+		a := StreamAt(31, pair[0])
+		b := StreamAt(31, pair[1])
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		a.NormBatch(xs)
+		b.NormBatch(ys)
+		sum := 0.0
+		for i := range xs {
+			sum += xs[i] * ys[i]
+		}
+		corr := sum / n
+		if math.Abs(corr) > 4/math.Sqrt(n) {
+			t.Errorf("streams %d/%d correlate: %v", pair[0], pair[1], corr)
+		}
+	}
+}
+
+func TestNormBatchZeroAlloc(t *testing.T) {
+	st := NewStream(3)
+	buf := make([]float64, 4096)
+	allocs := testing.AllocsPerRun(10, func() { st.NormBatch(buf) })
+	if allocs != 0 {
+		t.Fatalf("NormBatch allocates %.1f objects/op", allocs)
+	}
+}

@@ -325,7 +325,8 @@ func runFig16(cfg Config) (*Result, error) {
 			wave = mod.AppendSymbol(wave, 0)
 		}
 		chirp.Scale(wave, radio.AmplitudeForSNRdB(30+level.GainDB))
-		radio.AddAWGN(rng, wave, 1)
+		noise := dsp.StreamAt(rng.Int63(), 0)
+		radio.AddAWGN(&noise, wave, 1)
 		psd := dsp.FFTShift(dsp.WelchPSD(wave, 512))
 		_, peak := dsp.ArgmaxFloat(psd)
 		peakDB := 10 * math.Log10(peak)

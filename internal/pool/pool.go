@@ -1,14 +1,16 @@
 // Package pool is the repository's shared bounded worker pool: a
 // parallel-for over an index space, capped at GOMAXPROCS goroutines.
 // The decode pipeline fans symbol spectra across it, the channel
-// simulator synthesizes per-device waveforms through it, and the figure
-// experiments run independent rounds on it — one concurrency primitive
-// instead of ad-hoc goroutine spawns in every layer.
+// simulator fans template synthesis and receive-buffer tiles through
+// it, and the figure experiments run independent rounds on it — one
+// concurrency primitive instead of ad-hoc goroutine spawns in every
+// layer.
 //
 // Work items must be independent; the pool makes no ordering guarantee
-// beyond "ForEach returns after every fn call has returned". Callers that
-// need determinism write results into per-index slots and reduce
-// serially afterwards.
+// beyond "ForEach returns after every fn call has returned". Callers
+// that need determinism index results by the *item* (per-index slots,
+// tile-indexed rng streams — see air's tiled receive), never by the
+// worker, so output is identical at any pool width.
 package pool
 
 import (

@@ -1,21 +1,51 @@
 package radio
 
 import (
+	"math"
+
 	"netscatter/internal/dsp"
 )
 
+// noiseBlock is the number of complex samples filled per batch draw in
+// the fused AWGN pass: 2·noiseBlock float64s (4 KiB) of stack scratch,
+// small enough to stay cache- and stack-resident, large enough to
+// amortize the batch call.
+const noiseBlock = 256
+
 // AddAWGN adds circularly symmetric complex Gaussian noise with total
-// power noisePower to sig in place.
-func AddAWGN(rng *dsp.Rand, sig []complex128, noisePower float64) {
-	for i := range sig {
-		sig[i] += rng.ComplexNormal(noisePower)
+// power noisePower to sig in place, drawing from a dsp.Stream — the
+// fused "fill + add" pass of the vectorized noise engine: the ziggurat
+// sampler fills a small planar block, which is scaled and accumulated
+// while still hot, so the per-sample cost is one batch table lookup and
+// one multiply-add instead of a scaled per-sample generator call. Each
+// complex sample consumes two normals, real part first, matching the
+// draw order of the per-sample oracle path.
+func AddAWGN(st *dsp.Stream, sig []complex128, noisePower float64) {
+	s := math.Sqrt(noisePower / 2)
+	var buf [2 * noiseBlock]float64
+	for base := 0; base < len(sig); base += noiseBlock {
+		blk := sig[base:min(base+noiseBlock, len(sig))]
+		st.NormBatch(buf[: 2*len(blk) : 2*len(blk)])
+		for i := range blk {
+			blk[i] += complex(s*buf[2*i], s*buf[2*i+1])
+		}
 	}
 }
 
 // AddUnitNoise adds unit-power complex noise, the normalization used
 // throughout the simulator.
-func AddUnitNoise(rng *dsp.Rand, sig []complex128) {
-	AddAWGN(rng, sig, 1)
+func AddUnitNoise(st *dsp.Stream, sig []complex128) {
+	AddAWGN(st, sig, 1)
+}
+
+// AddAWGNOracle is the retained math/rand reference path: one
+// Rand.ComplexNormal draw per sample. The statistical tests pin the
+// stream engine's noise distribution against it; simulation code should
+// use AddAWGN.
+func AddAWGNOracle(rng *dsp.Rand, sig []complex128, noisePower float64) {
+	for i := range sig {
+		sig[i] += rng.ComplexNormal(noisePower)
+	}
 }
 
 // Superpose adds src (starting at sample offset) into dst, clipping src
@@ -24,17 +54,16 @@ func AddUnitNoise(rng *dsp.Rand, sig []complex128) {
 //
 // The overlap is clipped once up front so the accumulation loop carries
 // no per-element bounds branch — with hundreds of concurrent frames
-// this add is one of the receiver front-end's hottest loops.
+// this add is one of the receiver front-end's hottest loops; the add
+// itself runs through dsp.AddInto's vector kernel where available
+// (bit-identical to the scalar loop by the lane-independence argument
+// in dsp/simd.go).
 func Superpose(dst, src []complex128, offset int) int {
 	lo, hi := clipRange(len(dst), len(src), offset)
 	if hi <= lo {
 		return 0
 	}
-	d := dst[offset+lo : offset+hi]
-	s := src[lo:hi:hi]
-	for i := range d {
-		d[i] += s[i]
-	}
+	dsp.AddInto(dst[offset+lo:offset+hi], src[lo:hi:hi])
 	return hi - lo
 }
 

@@ -43,11 +43,78 @@ func TestDopplerShift(t *testing.T) {
 }
 
 func TestAWGNPower(t *testing.T) {
-	rng := dsp.NewRand(1)
+	st := dsp.NewStream(1)
 	sig := make([]complex128, 100000)
-	AddAWGN(rng, sig, 2.0)
+	AddAWGN(st, sig, 2.0)
 	if got := dsp.SignalPower(sig); math.Abs(got-2) > 0.05 {
 		t.Fatalf("noise power = %v, want 2", got)
+	}
+}
+
+// TestAWGNStreamMatchesNormBatchSequence pins the fused pass's draw order:
+// AddAWGN consumes the stream exactly as 2·len(sig) NormBatch draws —
+// real part first — scaled by √(power/2), so the fused fill+add is a
+// pure optimization over the obvious two-pass implementation.
+func TestAWGNStreamMatchesNormBatchSequence(t *testing.T) {
+	a := dsp.StreamAt(7, 3)
+	b := dsp.StreamAt(7, 3)
+	const n = 1000 // odd block coverage: not a multiple of the fill block
+	sig := make([]complex128, n)
+	AddAWGN(&a, sig, 3.7)
+
+	raw := make([]float64, 2*n)
+	b.NormBatch(raw)
+	s := math.Sqrt(3.7 / 2)
+	for i := range sig {
+		want := complex(s*raw[2*i], s*raw[2*i+1])
+		if sig[i] != want {
+			t.Fatalf("sample %d: %v, want %v", i, sig[i], want)
+		}
+	}
+}
+
+// TestAWGNStreamStatsMatchOracle compares the fused AWGN path's noise
+// statistics against the retained math/rand oracle at the same power:
+// matching power and per-component moments within a few standard
+// errors.
+func TestAWGNStreamStatsMatchOracle(t *testing.T) {
+	const n = 200000
+	const power = 2.5
+
+	st := dsp.NewStream(5)
+	sig := make([]complex128, n)
+	AddAWGN(st, sig, power)
+
+	rng := dsp.NewRand(5)
+	ref := make([]complex128, n)
+	AddAWGNOracle(rng, ref, power)
+
+	stats := func(v []complex128) (pwr, meanRe, meanIm float64) {
+		for _, x := range v {
+			pwr += real(x)*real(x) + imag(x)*imag(x)
+			meanRe += real(x)
+			meanIm += imag(x)
+		}
+		return pwr / n, meanRe / n, meanIm / n
+	}
+	p1, mr1, mi1 := stats(sig)
+	p2, mr2, mi2 := stats(ref)
+	if math.Abs(p1-power) > 0.05 || math.Abs(p1-p2) > 0.1 {
+		t.Fatalf("fused power %v vs oracle %v (want %v)", p1, p2, power)
+	}
+	for _, m := range []float64{mr1, mi1, mr2, mi2} {
+		if math.Abs(m) > 0.02 {
+			t.Fatalf("noise mean off zero: %v", m)
+		}
+	}
+}
+
+func TestAWGNZeroAlloc(t *testing.T) {
+	st := dsp.NewStream(9)
+	sig := make([]complex128, 4096)
+	allocs := testing.AllocsPerRun(10, func() { AddAWGN(st, sig, 1) })
+	if allocs != 0 {
+		t.Fatalf("AddAWGN allocates %.1f objects/op", allocs)
 	}
 }
 

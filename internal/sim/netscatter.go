@@ -246,14 +246,16 @@ func (n *Network) initRoundCtx(maxDevices int) {
 		n.encs[i] = core.NewEncoder(n.cfg.Params, rc.shifts[i])
 		rc.payloads[i] = rc.payloadArena[i*payloadBytes : (i+1)*payloadBytes]
 		rc.bits[i] = rc.bitsArena[i*payloadBits : (i+1)*payloadBits]
-		rc.txs[i].Mixed = func(dst []complex128, frac, freqHz float64, gain complex128) []complex128 {
-			return n.encs[i].FrameBitsWaveformMixedInto(dst, n.rc.bits[i], frac, freqHz, gain)
+		// The tiled channel path: the frame is never materialized —
+		// template symbols are synthesized once per round into the
+		// channel's arena, and every receive-buffer tile accumulates its
+		// clip of the frame straight from them (bit-identical to
+		// materialize + superpose, at any worker count).
+		rc.txs[i].MixedTmpl = func(tmpl []complex128, frac, freqHz float64, gain complex128) []complex128 {
+			return n.encs[i].FrameBitsWaveformMixedTemplates(tmpl, n.rc.bits[i], frac, freqHz, gain)
 		}
-		// On the serial channel path the frame is never materialized:
-		// synthesis accumulates straight into the receive buffer from
-		// the template symbols (bit-identical to Mixed + superpose).
-		rc.txs[i].MixedAdd = func(out []complex128, at int, tmpl []complex128, frac, freqHz float64, gain complex128) []complex128 {
-			return n.encs[i].FrameBitsWaveformMixedAdd(out, at, tmpl, n.rc.bits[i], frac, freqHz, gain)
+		rc.txs[i].MixedAddRange = func(out []complex128, lo, hi, at int, tmpl []complex128, frac, freqHz float64) {
+			n.encs[i].FrameBitsWaveformMixedAddRange(out, lo, hi, at, tmpl, n.rc.bits[i], frac, freqHz)
 		}
 	}
 }

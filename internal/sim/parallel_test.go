@@ -57,6 +57,58 @@ func TestConcurrentRunRoundRace(t *testing.T) {
 	}
 }
 
+// TestRunRoundBitIdenticalAcrossGOMAXPROCSRace pins the tiled channel
+// path's hard determinism contract at the sample level: for a fixed
+// seed the composite received stream of every round — signal
+// accumulation and tile-stream noise — is bit-identical across
+// GOMAXPROCS ∈ {1, 2, 4}. Run under -race in CI, this simultaneously
+// sweeps the template fan-out and tile workers for data races.
+func TestRunRoundBitIdenticalAcrossGOMAXPROCSRace(t *testing.T) {
+	const nDev = 24
+	const rounds = 3
+
+	run := func(procs int) ([][]complex128, []RoundStats) {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		rng := dsp.NewRand(17)
+		dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, nDev, 500e3, rng)
+		cfg := DefaultConfig()
+		cfg.PayloadBytes = 3
+		net, err := NewNetwork(cfg, dep, nDev, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sigs [][]complex128
+		var stats []RoundStats
+		for r := 0; r < rounds; r++ {
+			s, err := net.RunRound(nDev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats = append(stats, s)
+			sigs = append(sigs, append([]complex128(nil), net.rc.sig...))
+		}
+		return sigs, stats
+	}
+
+	wantSigs, wantStats := run(1)
+	for _, procs := range []int{2, 4} {
+		gotSigs, gotStats := run(procs)
+		for r := range wantStats {
+			if gotStats[r] != wantStats[r] {
+				t.Fatalf("GOMAXPROCS=%d round %d stats diverge: %+v vs %+v",
+					procs, r, gotStats[r], wantStats[r])
+			}
+			for i := range wantSigs[r] {
+				if gotSigs[r][i] != wantSigs[r][i] {
+					t.Fatalf("GOMAXPROCS=%d round %d: received stream diverges at sample %d",
+						procs, r, i)
+				}
+			}
+		}
+	}
+}
+
 // TestRunRoundDeterministicAcrossGOMAXPROCS pins the parallelization
 // contract: a seeded round produces identical statistics whether the
 // pool has one slot or many.

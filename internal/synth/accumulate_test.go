@@ -81,6 +81,77 @@ func TestFrameMixedAccumulateBitExact(t *testing.T) {
 	}
 }
 
+// TestFrameMixedAccumulateRangeTilesBitExact pins the tiled transmit
+// contract: accumulating a frame through any partition of the buffer
+// into [lo, hi) tiles — including tiny, unaligned and degenerate ones —
+// is bit-identical to the single whole-buffer accumulate, because the
+// per-sample additions are the same products in the same order.
+func TestFrameMixedAccumulateRangeTilesBitExact(t *testing.T) {
+	p := chirp.Params{SF: 7, BW: 125e3, Oversample: 1}
+	s := For(p)
+	n := s.N()
+	bits := []byte{1, 0, 1, 1, 0, 1, 0, 0, 1}
+	frac := 0.31
+	omega := 0.0004
+	gain := complex(1.2, -0.7)
+	outLen := 14*n + 5
+
+	want := make([]complex128, outLen)
+	tmpl := s.FrameMixedAccumulate(want, 2*n+3, nil, 9, 6, 2, bits, frac, omega, gain)
+
+	partitions := [][]int{
+		{0, outLen},                             // trivial
+		{0, 1, 2, outLen - 1, outLen},           // degenerate edges
+		{0, 512, 1024, 1536, outLen},            // fixed-grain tiles
+		{0, n / 2, n, 3*n + 7, 9 * n, outLen},   // unaligned
+		{0, 33, 34, 35, 4*n + 1, 5 * n, outLen}, // mixed
+	}
+	for _, cuts := range partitions {
+		got := make([]complex128, outLen)
+		for i := 0; i+1 < len(cuts); i++ {
+			s.FrameMixedAccumulateRange(got, cuts[i], cuts[i+1], 2*n+3, tmpl, 6, 2, bits, frac, omega)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("partition %v: sample %d: %v != %v", cuts, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Tiles may also arrive in any order (parallel workers finish out of
+	// order; their ranges are disjoint).
+	got := make([]complex128, outLen)
+	order := []int{3, 0, 2, 1}
+	cuts := []int{0, 4 * n, 8 * n, 12 * n, outLen}
+	for _, k := range order {
+		s.FrameMixedAccumulateRange(got, cuts[k], cuts[k+1], 2*n+3, tmpl, 6, 2, bits, frac, omega)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out-of-order tiles: sample %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFrameMixedTemplatesAllSilence checks the all-silent frame leaves
+// the template scratch untouched and range accumulation adds nothing.
+func TestFrameMixedTemplatesAllSilence(t *testing.T) {
+	p := chirp.Params{SF: 7, BW: 125e3, Oversample: 1}
+	s := For(p)
+	bits := []byte{0, 0, 0}
+	tmpl := s.FrameMixedTemplates(nil, 9, 0, 0, bits, 0.2, 0.001, 1)
+	if tmpl != nil {
+		t.Fatalf("all-silent frame grew the template scratch to %d", len(tmpl))
+	}
+	out := make([]complex128, 4*s.N())
+	s.FrameMixedAccumulateRange(out, 0, len(out), 0, tmpl, 0, 0, bits, 0.2, 0.001)
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("all-silent frame wrote sample %d: %v", i, v)
+		}
+	}
+}
+
 // TestFrameMixedAccumulateAggregate covers the bandwidth-aggregation
 // synthesis branch (Oversample > 1).
 func TestFrameMixedAccumulateAggregate(t *testing.T) {

@@ -1,6 +1,10 @@
 package synth
 
-import "fmt"
+import (
+	"fmt"
+
+	"netscatter/internal/dsp"
+)
 
 // Frame synthesis. A NetScatter frame is upPreamble shifted upchirps,
 // downPreamble shifted downchirps, then one ON-OFF keyed symbol per
@@ -167,37 +171,17 @@ func (s *Synthesizer) FrameMixedInto(dst []complex128, shift int, upPreamble, do
 	return dst
 }
 
-// FrameMixedAccumulate adds the FrameMixedInto waveform, placed at
-// sample offset at, directly into out — without materializing the
-// frame. The frame is two recurrence-synthesized template symbols plus
-// constant-scaled copies, so accumulation needs only the templates:
-// each symbol segment adds tmpl[i]·rot into its clipped slice of out,
-// and silent symbols are skipped outright. tmpl is caller-owned
-// template scratch (grown to 2N and returned for reuse), which keeps
-// the synthesizer shareable across goroutines.
-//
-// Bit-exactness contract: for every sample, the value added is the
-// exact product scaledCopy would have stored (same expression, same
-// order), so out ends bit-identical to FrameMixedInto followed by
-// radio.Superpose at offset `at` — provided out was accumulated from
-// (+0.0)-zeroed storage. (Skipping a silent symbol differs from adding
-// its +0.0 samples only on a -0.0 accumulator element, and a sum seeded
-// with +0.0 can never produce -0.0.)
-func (s *Synthesizer) FrameMixedAccumulate(out []complex128, at int, tmpl []complex128, shift, upPreamble, downPreamble int, bits []byte, frac, omega float64, gain complex128) []complex128 {
-	if frac < 0 || frac >= 1 {
-		panic(fmt.Sprintf("synth: fractional delay %v outside [0, 1)", frac))
-	}
-	n := s.n
-	totalSyms := upPreamble + downPreamble + len(bits)
-	off := 0 // leading silent samples before the first symbol
-	x0 := 0.0
+// frameTemplateSlots mirrors FrameMixedInto's template selection: the
+// index of the first upchirp-valued symbol (kUp, -1 when the frame has
+// no preamble and all-zero bits) and the first downchirp symbol (kDown,
+// -1 without a down preamble), plus the leading-silence offset and
+// synthesis start coordinate implied by frac.
+func frameTemplateSlots(upPreamble, downPreamble int, bits []byte, frac float64) (kUp, kDown, off int, x0 float64) {
 	if frac != 0 {
 		off = 1
 		x0 = 1 - frac
 	}
-
-	// Template selection mirrors FrameMixedInto exactly.
-	kUp := -1
+	kUp = -1
 	if upPreamble > 0 {
 		kUp = 0
 	} else {
@@ -208,14 +192,31 @@ func (s *Synthesizer) FrameMixedAccumulate(out []complex128, at int, tmpl []comp
 			}
 		}
 	}
-	kDown := -1
+	kDown = -1
 	if downPreamble > 0 {
 		kDown = upPreamble
 	}
-	if kUp < 0 && kDown < 0 {
-		return tmpl // all silence: nothing to add
-	}
+	return
+}
 
+// FrameMixedTemplates synthesizes the frame's mixed template symbols —
+// everything FrameMixedAccumulate needs besides plain scaled adds —
+// into tmpl, grown to 2N and returned for reuse: the upchirp template
+// (with kUp's mix phase and the carrier gain baked in) at tmpl[:N] and
+// the downchirp template at tmpl[N:2N]. A frame that is all silence
+// returns tmpl untouched. Splitting template synthesis from
+// accumulation lets the channel build every device's templates once
+// (in parallel) and then accumulate arbitrary sub-ranges of the
+// receive buffer from them — the tiled transmit path.
+func (s *Synthesizer) FrameMixedTemplates(tmpl []complex128, shift, upPreamble, downPreamble int, bits []byte, frac, omega float64, gain complex128) []complex128 {
+	if frac < 0 || frac >= 1 {
+		panic(fmt.Sprintf("synth: fractional delay %v outside [0, 1)", frac))
+	}
+	n := s.n
+	kUp, kDown, off, x0 := frameTemplateSlots(upPreamble, downPreamble, bits, frac)
+	if kUp < 0 && kDown < 0 {
+		return tmpl // all silence: nothing to synthesize
+	}
 	tmpl = growComplex(tmpl[:0], 2*n)
 	symPhase := func(k int) complex128 {
 		if omega == 0 {
@@ -223,38 +224,112 @@ func (s *Synthesizer) FrameMixedAccumulate(out []complex128, at int, tmpl []comp
 		}
 		return gain * cis(omega*float64(off+k*n))
 	}
-	var tmplUp, tmplDown []complex128
 	if kUp >= 0 {
-		tmplUp = tmpl[:n]
-		s.MixedInto(tmplUp, shift, x0, false, omega, symPhase(kUp))
+		s.MixedInto(tmpl[:n], shift, x0, false, omega, symPhase(kUp))
 	}
 	if kDown >= 0 {
-		tmplDown = tmpl[n : 2*n]
-		s.MixedInto(tmplDown, shift, x0, true, omega, symPhase(kDown))
-	}
-
-	base := at + off
-	for k := 0; k < totalSyms; k++ {
-		g0 := base + k*n
-		switch {
-		case k == kUp:
-			addScaled(out, g0, tmplUp, 1)
-		case k == kDown:
-			addScaled(out, g0, tmplDown, 1)
-		case k < upPreamble:
-			addScaled(out, g0, tmplUp, symRot(omega, (k-kUp)*n))
-		case k < upPreamble+downPreamble:
-			addScaled(out, g0, tmplDown, symRot(omega, (k-kDown)*n))
-		case bits[k-upPreamble-downPreamble] != 0:
-			addScaled(out, g0, tmplUp, symRot(omega, (k-kUp)*n))
-		}
+		s.MixedInto(tmpl[n:2*n], shift, x0, true, omega, symPhase(kDown))
 	}
 	return tmpl
 }
 
+// FrameMixedAccumulateRange adds the [lo, hi) clip of the placed frame
+// into out, reading pre-synthesized templates from tmpl (which must
+// come from FrameMixedTemplates with identical frame arguments). Only
+// symbols overlapping the range are touched, so accumulating a tile
+// costs O(overlap), not O(frame) — tiles covering the whole buffer
+// reproduce FrameMixedAccumulate's additions exactly: per sample the
+// same products in the same order, regardless of how [0, len(out)) is
+// partitioned. That per-sample invariance is what makes the tiled
+// parallel transmit path bit-identical to the serial pass.
+func (s *Synthesizer) FrameMixedAccumulateRange(out []complex128, lo, hi, at int, tmpl []complex128, upPreamble, downPreamble int, bits []byte, frac, omega float64) {
+	if frac < 0 || frac >= 1 {
+		panic(fmt.Sprintf("synth: fractional delay %v outside [0, 1)", frac))
+	}
+	if lo < 0 || hi > len(out) || lo > hi {
+		panic(fmt.Sprintf("synth: accumulate range [%d, %d) outside buffer of %d", lo, hi, len(out)))
+	}
+	n := s.n
+	totalSyms := upPreamble + downPreamble + len(bits)
+	kUp, kDown, off, _ := frameTemplateSlots(upPreamble, downPreamble, bits, frac)
+	if kUp < 0 && kDown < 0 {
+		return // all silence: nothing to add
+	}
+	var tmplUp, tmplDown []complex128
+	if kUp >= 0 {
+		tmplUp = tmpl[:n]
+	}
+	if kDown >= 0 {
+		tmplDown = tmpl[n : 2*n]
+	}
+
+	// Restrict the symbol walk to those whose span [base+k·n, base+k·n+n)
+	// intersects [lo, hi).
+	// Smallest k with base+k·n+n > lo is ⌊(lo−base)/n⌋ exactly.
+	base := at + off
+	kMin := floorDiv(lo-base, n)
+	if kMin < 0 {
+		kMin = 0
+	}
+	kMax := floorDiv(hi-1-base, n)
+	if kMax > totalSyms-1 {
+		kMax = totalSyms - 1
+	}
+	window := out[lo:hi]
+	for k := kMin; k <= kMax; k++ {
+		g0 := base + k*n - lo
+		switch {
+		case k == kUp:
+			addScaled(window, g0, tmplUp, 1)
+		case k == kDown:
+			addScaled(window, g0, tmplDown, 1)
+		case k < upPreamble:
+			addScaled(window, g0, tmplUp, symRot(omega, (k-kUp)*n))
+		case k < upPreamble+downPreamble:
+			addScaled(window, g0, tmplDown, symRot(omega, (k-kDown)*n))
+		case bits[k-upPreamble-downPreamble] != 0:
+			addScaled(window, g0, tmplUp, symRot(omega, (k-kUp)*n))
+		}
+	}
+}
+
+// FrameMixedAccumulate adds the FrameMixedInto waveform, placed at
+// sample offset at, directly into out — without materializing the
+// frame. The frame is two recurrence-synthesized template symbols plus
+// constant-scaled copies, so accumulation needs only the templates:
+// each symbol segment adds tmpl[i]·rot into its clipped slice of out,
+// and silent symbols are skipped outright. tmpl is caller-owned
+// template scratch (grown to 2N and returned for reuse), which keeps
+// the synthesizer shareable across goroutines. It is the composition
+// of FrameMixedTemplates and a whole-buffer FrameMixedAccumulateRange.
+//
+// Bit-exactness contract: for every sample, the value added is the
+// exact product scaledCopy would have stored (same expression, same
+// order), so out ends bit-identical to FrameMixedInto followed by
+// radio.Superpose at offset `at` — provided out was accumulated from
+// (+0.0)-zeroed storage. (Skipping a silent symbol differs from adding
+// its +0.0 samples only on a -0.0 accumulator element, and a sum seeded
+// with +0.0 can never produce -0.0.)
+func (s *Synthesizer) FrameMixedAccumulate(out []complex128, at int, tmpl []complex128, shift, upPreamble, downPreamble int, bits []byte, frac, omega float64, gain complex128) []complex128 {
+	tmpl = s.FrameMixedTemplates(tmpl, shift, upPreamble, downPreamble, bits, frac, omega, gain)
+	s.FrameMixedAccumulateRange(out, 0, len(out), at, tmpl, upPreamble, downPreamble, bits, frac, omega)
+	return tmpl
+}
+
+// floorDiv returns ⌊a/b⌋ for positive b.
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
 // addScaled adds src[i]·c into out[g0+i], clipped to out's bounds — the
 // synthesis-fused form of radio.Superpose. The product mirrors
-// scaledCopy bit for bit, including the c == 1 copy fast path.
+// scaledCopy bit for bit, including the c == 1 copy fast path; the
+// accumulation runs through dsp's vector kernels where available,
+// which are bit-identical to the scalar loops (see dsp/simd.go).
 func addScaled(out []complex128, g0 int, src []complex128, c complex128) {
 	lo := 0
 	if g0 < 0 {
@@ -270,15 +345,10 @@ func addScaled(out []complex128, g0 int, src []complex128, c complex128) {
 	d := out[g0+lo : g0+hi]
 	s := src[lo:hi:hi]
 	if c == 1 {
-		for i := range d {
-			d[i] += s[i]
-		}
+		dsp.AddInto(d, s)
 		return
 	}
-	for i := range d {
-		t := s[i] * c
-		d[i] += t
-	}
+	dsp.AxpyInto(d, s, c)
 }
 
 // symRot returns the constant inter-symbol mix rotation e^{jω·Δ}.

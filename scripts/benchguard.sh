@@ -6,16 +6,41 @@
 # from different machines or bench times are refused rather than
 # compared.
 #
-# Usage: scripts/benchguard.sh [report.json ...]
-# With no arguments the git-tracked BENCH_*.json reports are compared
-# (newest two by embedded run timestamp), so stray local bench runs in
-# the working tree never hijack the gate; outside a git checkout it
-# falls back to globbing the repo root.
+# Usage: scripts/benchguard.sh [-threshold X] [-allow-new spec] [report.json ...]
+# Leading flags are forwarded to cmd/benchguard (e.g. -allow-new for
+# intentionally renamed or retired benchmarks). With no file arguments
+# the git-tracked BENCH_*.json reports are compared (newest two by
+# embedded run timestamp), so stray local bench runs in the working
+# tree never hijack the gate; outside a git checkout it falls back to
+# globbing the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [ "$#" -gt 0 ]; then
-    exec go run ./cmd/benchguard "$@"
+flags=()
+files=()
+while [ "$#" -gt 0 ]; do
+    case "$1" in
+    -threshold|-allow-new|-dir|--threshold|--allow-new|--dir)
+        if [ "$#" -lt 2 ]; then
+            echo "benchguard.sh: flag $1 requires a value" >&2
+            exit 2
+        fi
+        flags+=("$1" "$2")
+        shift 2
+        ;;
+    -*)
+        flags+=("$1")
+        shift
+        ;;
+    *)
+        files+=("$1")
+        shift
+        ;;
+    esac
+done
+
+if [ "${#files[@]}" -gt 0 ]; then
+    exec go run ./cmd/benchguard "${flags[@]}" "${files[@]}"
 fi
 
 tracked=()
@@ -27,6 +52,6 @@ if command -v git >/dev/null 2>&1 && git rev-parse --is-inside-work-tree >/dev/n
     # ls-files covers the index, which is exactly "what the PR ships".
 fi
 if [ "${#tracked[@]}" -ge 2 ]; then
-    exec go run ./cmd/benchguard "${tracked[@]}"
+    exec go run ./cmd/benchguard "${flags[@]}" "${tracked[@]}"
 fi
-exec go run ./cmd/benchguard
+exec go run ./cmd/benchguard "${flags[@]}"

@@ -42,9 +42,11 @@ go test -count=1 -run 'Fuzz' ./internal/synth ./internal/core
 
 echo "== race: concurrent paths =="
 # The rewired sim round path, the batched parallel decoder (including
-# the batch-vs-oracle bit-exactness sweep) and the channel synthesis
-# fan-out, all under the race detector.
-go test -race -count=1 -run 'Concurrent|Parallel|Race|Mixed' ./internal/sim ./internal/core ./internal/air ./internal/pool
+# the batch-vs-oracle bit-exactness sweep), the tiled channel path
+# (template fan-out + tile workers, with the GOMAXPROCS ∈ {1,2,4}
+# bit-exactness sweeps) and the stream/noise kernels, all under the
+# race detector.
+go test -race -count=1 -run 'Concurrent|Parallel|Race|Mixed|Tiled|Stream' ./internal/sim ./internal/core ./internal/air ./internal/pool ./internal/dsp ./internal/radio
 
 echo "== benchguard: perf trajectory =="
 scripts/benchguard.sh
