@@ -428,6 +428,31 @@ func BenchmarkNetworkRound64(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiAPRound64x2 runs the 64-device round heard by two APs:
+// template synthesis once per device, per-AP scaled fan-out over the
+// tile grid, two parallel decodes and the cross-AP aggregation —
+// allocation-free in steady state like the single-AP round. The ratio
+// against BenchmarkNetworkRound64 is the marginal cost of an AP.
+func BenchmarkMultiAPRound64x2(b *testing.B) {
+	rng := dsp.NewRand(9)
+	dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, 64, 500e3, rng)
+	dep.PlaceAPs(2)
+	cfg := sim.DefaultConfig()
+	net, err := sim.NewMultiAPNetwork(cfg, dep, 2, 64, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.RunRound(64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiAPDiversity(b *testing.B) { benchExperiment(b, "M1") }
+
 // BenchmarkNetworkRound64Parallel is the same round with the worker
 // pool widened to four slots: the tiled channel path fans the transmit
 // half across tiles and the decoder fans symbol batches, with output

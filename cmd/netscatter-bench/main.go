@@ -349,6 +349,32 @@ func benchmarks() []namedBench {
 		},
 	})
 	bms = append(bms, namedBench{
+		// One 64-device round heard by two APs: shared-template fan-out
+		// (synthesis once, per-AP scaling), two tiled receives, two
+		// parallel decodes and the cross-AP aggregation. Steady state is
+		// allocation-free like the single-AP round; the interesting
+		// ratio is this against NetworkRound64 — the marginal cost of an
+		// extra AP is the scaled accumulate + decode, not re-synthesis.
+		name: "MultiAPRound64x2",
+		fn: func(b *testing.B) {
+			r := dsp.NewRand(9)
+			dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, 64, 500e3, r)
+			dep.PlaceAPs(2)
+			cfg := sim.DefaultConfig()
+			net, err := sim.NewMultiAPNetwork(cfg, dep, 2, 64, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := net.RunRound(64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+	bms = append(bms, namedBench{
 		// The tiled transmit path and batched decoder fan across a
 		// four-slot pool, bit-identical to the serial round
 		// (test-enforced). On a single hardware thread this records the

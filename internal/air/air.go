@@ -97,7 +97,13 @@ func (tx *Transmission) tiled() bool {
 // placement splits the transmission's arrival delay into the integer
 // sample placement and the fractional remainder synthesis bakes in.
 func (tx *Transmission) placement(sampleRate float64) (intDelay int, fracSamples float64) {
-	delaySamples := tx.DelaySec * sampleRate
+	return splitDelay(tx.DelaySec, sampleRate)
+}
+
+// splitDelay splits an arrival delay into integer sample placement and
+// the fractional remainder.
+func splitDelay(delaySec, sampleRate float64) (intDelay int, fracSamples float64) {
+	delaySamples := delaySec * sampleRate
 	intDelay = int(math.Floor(delaySamples))
 	return intDelay, delaySamples - float64(intDelay)
 }
@@ -194,28 +200,7 @@ func (c *Channel) Receive(length int, txs []Transmission) []complex128 {
 // stream (dsp.StreamAt) rather than any worker-owned generator — so
 // the output is bit-identical for a given seed at any GOMAXPROCS.
 func (c *Channel) ReceiveInto(out []complex128, txs []Transmission) []complex128 {
-	if cap(c.gains) < len(txs) {
-		c.gains = make([]complex128, len(txs))
-	}
-	gains := c.gains[:len(txs)]
-	tiledAll := true
-	for i := range txs {
-		tx := &txs[i]
-		if !tx.hasWave() {
-			continue // no waveform: consumes no randomness, as before
-		}
-		if !tx.tiled() {
-			tiledAll = false
-		}
-		gain := complex(radio.AmplitudeForSNRdB(tx.SNRdB), 0)
-		if tx.FadeGain != 0 {
-			gain *= tx.FadeGain
-		}
-		if !tx.FixedPhase && c.Rng != nil {
-			gain *= c.Rng.UniformPhase()
-		}
-		gains[i] = gain
-	}
+	tiledAll := c.prepareGains(txs)
 
 	// The round's noise key: one serial draw from the channel Rng keys
 	// every tile's noise stream (dsp.StreamAt(key, tile)). Noise is thus
@@ -227,7 +212,63 @@ func (c *Channel) ReceiveInto(out []complex128, txs []Transmission) []complex128
 	if noise {
 		key = int64(c.Rng.Uint64())
 	}
+	return c.receiveWithKey(out, txs, tiledAll, noise, key)
+}
 
+// ReceiveIntoKeyed is ReceiveInto with the round's noise key supplied
+// by the caller instead of drawn from the channel Rng: tile t draws its
+// noise from dsp.StreamAt(key, t). Carrier phases for non-FixedPhase
+// transmissions still come from the channel Rng, in transmission order.
+// This is the single-AP oracle hook the multi-AP fan-out is pinned
+// against — MultiChannel gives AP a the key masterKey^a, and a plain
+// Channel handed the same key and per-AP transmissions must reproduce
+// that AP's buffer bit for bit (see MultiChannel and multiap tests).
+func (c *Channel) ReceiveIntoKeyed(out []complex128, txs []Transmission, key int64) []complex128 {
+	tiledAll := c.prepareGains(txs)
+	return c.receiveWithKey(out, txs, tiledAll, c.NoisePower > 0, key)
+}
+
+// prepareGains fills the per-transmission carrier gains (SNR amplitude
+// × optional fade × random carrier phase, drawn from the channel Rng in
+// transmission order before any fan-out) and reports whether every
+// contributing transmission supports the tiled regime.
+func (c *Channel) prepareGains(txs []Transmission) (tiledAll bool) {
+	if cap(c.gains) < len(txs) {
+		c.gains = make([]complex128, len(txs))
+	}
+	gains := c.gains[:len(txs)]
+	tiledAll = true
+	for i := range txs {
+		tx := &txs[i]
+		if !tx.hasWave() {
+			continue // no waveform: consumes no randomness, as before
+		}
+		if !tx.tiled() {
+			tiledAll = false
+		}
+		gains[i] = carrierGain(tx.SNRdB, tx.FadeGain, tx.FixedPhase, c.Rng)
+	}
+	return tiledAll
+}
+
+// carrierGain composes one link's carrier gain: SNR amplitude, then the
+// optional fade, then the random phase. The multi-AP channel builds its
+// per-(device, AP) scales through this same function, so a scale and a
+// single-AP gain composed from the same inputs are the same bits.
+func carrierGain(snrDB float64, fade complex128, fixedPhase bool, rng *dsp.Rand) complex128 {
+	gain := complex(radio.AmplitudeForSNRdB(snrDB), 0)
+	if fade != 0 {
+		gain *= fade
+	}
+	if !fixedPhase && rng != nil {
+		gain *= rng.UniformPhase()
+	}
+	return gain
+}
+
+// receiveWithKey runs the accumulate + noise phases of a receive with
+// the gains already prepared and the noise key fixed.
+func (c *Channel) receiveWithKey(out []complex128, txs []Transmission, tiledAll, noise bool, key int64) []complex128 {
 	if tiledAll {
 		// Tiled path: every contributing transmission synthesizes
 		// templates once, then disjoint tiles accumulate and

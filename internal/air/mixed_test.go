@@ -1,11 +1,12 @@
-package air
+package air_test
 
 import (
 	"math/cmplx"
 	"testing"
 
-	"netscatter/internal/chirp"
+	"netscatter/internal/air"
 	"netscatter/internal/dsp"
+	"netscatter/internal/simtest"
 	"netscatter/internal/synth"
 )
 
@@ -16,7 +17,7 @@ import (
 // synthesis recurrence) — with identical rng sequences, and requires
 // the received streams to agree to the synthesis tolerance.
 func TestReceiveMixedMatchesDelayed(t *testing.T) {
-	p := chirp.Params{SF: 7, BW: 125e3, Oversample: 1}
+	p := simtest.SmallParams()
 	s := synth.For(p)
 	bits := []byte{1, 0, 1, 1, 0, 1}
 	shifts := []int{5, 60}
@@ -25,10 +26,10 @@ func TestReceiveMixedMatchesDelayed(t *testing.T) {
 	snrs := []float64{12, 4}
 
 	build := func(path string) []complex128 {
-		var txs []Transmission
+		var txs []air.Transmission
 		for i := range shifts {
 			shift := shifts[i]
-			tx := Transmission{
+			tx := air.Transmission{
 				SNRdB:        snrs[i],
 				DelaySec:     delays[i],
 				FreqOffsetHz: offsets[i],
@@ -50,7 +51,7 @@ func TestReceiveMixedMatchesDelayed(t *testing.T) {
 			}
 			txs = append(txs, tx)
 		}
-		ch := NewChannel(p, dsp.NewRand(42))
+		ch := air.NewChannel(p, dsp.NewRand(42))
 		ch.NoisePower = 1
 		// Two rounds through the same channel so the slot-buffer reuse
 		// path is exercised; rebuild the rng so both rounds draw the

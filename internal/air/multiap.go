@@ -1,0 +1,284 @@
+// Multi-AP fan-out: one shared deployment heard by k access points.
+//
+// Every device transmits one waveform; each AP receives it over its own
+// link (its own SNR, fade composition, carrier phase) and adds its own
+// thermal noise. The fan-out exploits what the template-synthesis
+// regime already established for one AP: a frame is two mixed template
+// symbols plus constant-scaled copies, so the per-AP variation reduces
+// to a complex scale on the templates — the frequency offset (the
+// device's crystal, shared by every AP) and the fractional delay stay
+// inside the one base synthesis.
+//
+// Per-AP timing uses the narrowband model: time-of-flight differences
+// between APs on an office floor are well under a sample, so they
+// appear as per-(device, AP) carrier phase — folded into the random
+// phase each link draws — while the sample-grid placement is shared.
+// See DESIGN-multiap.md.
+
+package air
+
+import (
+	"fmt"
+
+	"netscatter/internal/chirp"
+	"netscatter/internal/dsp"
+	"netscatter/internal/pool"
+	"netscatter/internal/radio"
+)
+
+// MultiTransmission describes one device's contribution as heard by
+// every AP of a multi-AP receive. The synthesis closures follow the
+// tiled Transmission contract (MixedTmpl / MixedAddRange) and are the
+// same closures a single-AP round would install — MixedTmpl is called
+// exactly once per receive, with unit gain; per-AP gains are applied by
+// scaling the resulting templates (ScaleTemplate).
+type MultiTransmission struct {
+	// MixedTmpl synthesizes the device's mixed template symbols with
+	// the fractional delay, frequency offset and given carrier gain
+	// folded in (core.Encoder's FrameBitsWaveformMixedTemplates).
+	MixedTmpl func(tmpl []complex128, fracSamples, freqOffsetHz float64, gain complex128) []complex128
+	// MixedAddRange accumulates the [lo, hi) clip of the placed frame
+	// into the receive buffer from a template set
+	// (FrameBitsWaveformMixedAddRange).
+	MixedAddRange func(out []complex128, lo, hi, at int, tmpl []complex128, fracSamples, freqOffsetHz float64)
+	// SNRdB holds the per-AP received SNRs; len(SNRdB) must cover the
+	// channel's AP count for a contributing transmission.
+	SNRdB []float64
+	// DelaySec is the shared arrival delay (hardware delay plus time of
+	// flight to the anchor AP); per-AP flight-time differences are
+	// sub-sample and ride the per-AP carrier phases.
+	DelaySec float64
+	// FreqOffsetHz is the device's oscillator offset.
+	FreqOffsetHz float64
+	// FadeGain is an optional extra complex gain common to all APs
+	// (1 if zero).
+	FadeGain complex128
+	// FixedPhase disables the random per-(device, AP) carrier phases
+	// (for deterministic tests).
+	FixedPhase bool
+}
+
+// contributes reports whether the transmission adds any samples.
+func (tx *MultiTransmission) contributes() bool {
+	return tx.MixedTmpl != nil && tx.MixedAddRange != nil
+}
+
+// ScaleTemplate writes src scaled by c into dst (grown from its
+// capacity as needed) and returns it. This is the whole per-AP
+// synthesis cost of the multi-AP fan-out — and the exact operation the
+// single-AP oracle closures perform, so a MultiChannel buffer and its
+// oracle Channel receive are the same bits.
+func ScaleTemplate(dst, src []complex128, c complex128) []complex128 {
+	dst = growComplex(dst[:0], len(src))
+	for i, v := range src {
+		dst[i] = v * c
+	}
+	return dst
+}
+
+// MultiChannel assembles the k received streams of a shared deployment
+// heard by k APs, synthesizing each device's template symbols once and
+// fanning them out to every AP's buffer with per-AP gain and per-AP
+// tile-indexed noise streams.
+//
+// Determinism contract (the single-AP Channel's, extended per AP): the
+// per-(device, AP) scales are drawn from the channel Rng serially in
+// (device, AP) order, one more serial draw keys the round's noise, and
+// AP a's tile t draws its noise from dsp.StreamAt(key^a, t). Signal
+// accumulation within a tile runs in transmission order. Output is
+// therefore bit-identical for a given seed at any GOMAXPROCS, and AP
+// a's buffer is bit-identical to a single-AP Channel.ReceiveIntoKeyed
+// with key^a and that AP's scaled-template transmissions — the
+// test-enforced oracle.
+//
+// Like Channel, a MultiChannel reuses its arenas across receives and is
+// not safe for concurrent use.
+type MultiChannel struct {
+	// Params supplies the sample rate.
+	Params chirp.Params
+	// NoisePower is the per-AP thermal noise power (1 normalized,
+	// 0 disables noise).
+	NoisePower float64
+	// Rng drives the per-(device, AP) phases and the noise key.
+	Rng *dsp.Rand
+
+	nAPs int
+
+	// Reused per-call state: per-(device, AP) scales, the shared base
+	// template arena (one 2N slot per device, synthesized once), the
+	// per-AP scaled template arena (k·nTx slots), placements, and the
+	// persistent workers with the in-flight call state they read.
+	scales    []complex128
+	baseArena []complex128
+	base      [][]complex128
+	apArena   []complex128
+	apTmpls   [][]complex128 // apTmpls[a*nTx+i]: device i's templates at AP a
+	txAt      []int
+	txFrac    []float64
+
+	tmplWorker func(i int)
+	tileWorker func(j int)
+	curTxs     []MultiTransmission
+	curOuts    [][]complex128
+	curKey     int64
+	noiseOn    bool
+	nTiles     int
+}
+
+// NewMultiChannel returns a unit-noise channel fanning out to nAPs
+// receive buffers.
+func NewMultiChannel(p chirp.Params, nAPs int, rng *dsp.Rand) *MultiChannel {
+	if nAPs < 1 {
+		panic(fmt.Sprintf("air: MultiChannel with %d APs", nAPs))
+	}
+	return &MultiChannel{Params: p, NoisePower: 1, Rng: rng, nAPs: nAPs}
+}
+
+// APs returns the channel's AP count.
+func (mc *MultiChannel) APs() int { return mc.nAPs }
+
+// Receive builds the k received streams of length samples each,
+// allocating the outputs. See ReceiveInto.
+func (mc *MultiChannel) Receive(length int, txs []MultiTransmission) [][]complex128 {
+	outs := make([][]complex128, mc.nAPs)
+	for a := range outs {
+		outs[a] = make([]complex128, length)
+	}
+	return mc.ReceiveInto(outs, txs)
+}
+
+// ReceiveInto builds the k per-AP received streams into outs (one
+// equal-length buffer per AP, each zeroed and refilled) and returns
+// outs. Template synthesis runs once per device; per-AP templates are
+// scaled copies; then the k·nTiles (AP, tile) pairs — each zeroing,
+// accumulating every device's overlap in transmission order, and
+// adding its AP- and tile-indexed noise stream — fan out across the
+// worker pool in a single pass.
+func (mc *MultiChannel) ReceiveInto(outs [][]complex128, txs []MultiTransmission) [][]complex128 {
+	k := mc.nAPs
+	if len(outs) != k {
+		panic(fmt.Sprintf("air: ReceiveInto with %d buffers for %d APs", len(outs), k))
+	}
+	for a := 1; a < k; a++ {
+		if len(outs[a]) != len(outs[0]) {
+			panic(fmt.Sprintf("air: per-AP buffer lengths differ: %d vs %d", len(outs[a]), len(outs[0])))
+		}
+	}
+
+	nTx := len(txs)
+	n2 := 2 * mc.Params.N()
+	if cap(mc.txAt) < nTx {
+		mc.txAt = make([]int, nTx)
+		mc.txFrac = make([]float64, nTx)
+		mc.base = make([][]complex128, nTx)
+		mc.scales = make([]complex128, nTx*k)
+	}
+	if cap(mc.baseArena) < nTx*n2 {
+		mc.baseArena = make([]complex128, nTx*n2)
+	}
+	if cap(mc.apArena) < k*nTx*n2 {
+		mc.apArena = make([]complex128, k*nTx*n2)
+		mc.apTmpls = make([][]complex128, k*nTx)
+	}
+	mc.txAt = mc.txAt[:nTx]
+	mc.txFrac = mc.txFrac[:nTx]
+	mc.base = mc.base[:nTx]
+	mc.scales = mc.scales[:nTx*k]
+	mc.apTmpls = mc.apTmpls[:k*nTx]
+
+	// Serial phase: per-(device, AP) scales in (device, AP) order —
+	// the same carrier-gain composition the single-AP channel uses per
+	// transmission — then the round's noise key. Everything after this
+	// point draws no randomness, so the fan-out cannot perturb the
+	// sequence.
+	fs := mc.Params.SampleRate()
+	for i := range txs {
+		tx := &txs[i]
+		mc.txAt[i], mc.txFrac[i] = splitDelay(tx.DelaySec, fs)
+		mc.base[i] = mc.baseArena[i*n2 : i*n2 : (i+1)*n2]
+		if tx.contributes() && len(tx.SNRdB) < k {
+			panic(fmt.Sprintf("air: transmission %d has %d per-AP SNRs for %d APs", i, len(tx.SNRdB), k))
+		}
+		for a := 0; a < k; a++ {
+			slot := a*nTx + i
+			mc.apTmpls[slot] = mc.apArena[slot*n2 : slot*n2 : (slot+1)*n2]
+			if !tx.contributes() {
+				continue // consumes no randomness, like the single-AP path
+			}
+			mc.scales[i*k+a] = carrierGain(tx.SNRdB[a], tx.FadeGain, tx.FixedPhase, mc.Rng)
+		}
+	}
+	noise := mc.NoisePower > 0 && mc.Rng != nil
+	var key int64
+	if noise {
+		key = int64(mc.Rng.Uint64())
+	}
+
+	if mc.tmplWorker == nil {
+		mc.tmplWorker = mc.tmplOne
+		mc.tileWorker = mc.tileOne
+	}
+	mc.curTxs = txs
+	mc.curOuts = outs
+	mc.curKey = key
+	mc.noiseOn = noise
+	mc.nTiles = (len(outs[0]) + tileSamples - 1) / tileSamples
+	pool.ForEach(nTx, mc.tmplWorker)
+	pool.ForEach(k*mc.nTiles, mc.tileWorker)
+	mc.curTxs = nil
+	mc.curOuts = nil
+	return outs
+}
+
+// tmplOne synthesizes device i's base template symbols (fractional
+// delay and frequency offset folded in, unit gain) — the round's only
+// synthesis call for the device — and scales the k per-AP copies.
+func (mc *MultiChannel) tmplOne(i int) {
+	tx := &mc.curTxs[i]
+	if !tx.contributes() {
+		return
+	}
+	k := mc.nAPs
+	nTx := len(mc.curTxs)
+	mc.base[i] = tx.MixedTmpl(mc.base[i], mc.txFrac[i], tx.FreqOffsetHz, 1)
+	for a := 0; a < k; a++ {
+		slot := a*nTx + i
+		mc.apTmpls[slot] = ScaleTemplate(mc.apTmpls[slot], mc.base[i], mc.scales[i*k+a])
+	}
+}
+
+// tileOne builds (AP, tile) pair j of the in-flight receive: zero the
+// tile, accumulate every device's overlap in transmission order from
+// that AP's scaled templates, then add the AP's tile-indexed noise
+// stream (dsp.StreamAt(key^ap, tile)). AP 0's noise streams are
+// exactly the single-AP channel's for the same key, so a one-AP multi
+// receive degenerates to the classic path.
+func (mc *MultiChannel) tileOne(j int) {
+	a := j / mc.nTiles
+	t := j % mc.nTiles
+	out := mc.curOuts[a]
+	lo := t * tileSamples
+	hi := min(lo+tileSamples, len(out))
+	w := out[lo:hi]
+	for i := range w {
+		w[i] = 0
+	}
+	nTx := len(mc.curTxs)
+	for i := range mc.curTxs {
+		tx := &mc.curTxs[i]
+		if !tx.contributes() {
+			continue
+		}
+		tx.MixedAddRange(out, lo, hi, mc.txAt[i], mc.apTmpls[a*nTx+i], mc.txFrac[i], tx.FreqOffsetHz)
+	}
+	if mc.noiseOn {
+		st := dsp.StreamAt(mc.curKey^int64(a), uint64(t))
+		radio.AddAWGN(&st, w, mc.NoisePower)
+	}
+}
+
+// FrameLength returns the sample count of a frame with the given total
+// symbol count plus margin symbols of tail room.
+func (mc *MultiChannel) FrameLength(symbols, marginSymbols int) int {
+	return (symbols + marginSymbols) * mc.Params.N()
+}

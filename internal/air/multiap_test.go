@@ -1,0 +1,224 @@
+package air_test
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"netscatter/internal/air"
+	"netscatter/internal/core"
+	"netscatter/internal/dsp"
+	"netscatter/internal/radio"
+	"netscatter/internal/simtest"
+)
+
+// mirrorScalesAndKey replays the MultiChannel's serial randomness for a
+// fleet: per-(device, AP) carrier gains in (device, AP) order, then the
+// round's noise key — the documented draw-order contract the oracle
+// comparison (and replay tooling) depends on.
+func mirrorScalesAndKey(seed int64, txs []air.MultiTransmission, nAPs int) ([][]complex128, int64) {
+	rng := dsp.NewRand(seed)
+	scales := make([][]complex128, len(txs))
+	for i := range txs {
+		tx := &txs[i]
+		scales[i] = make([]complex128, nAPs)
+		for a := 0; a < nAPs; a++ {
+			gain := complex(radio.AmplitudeForSNRdB(tx.SNRdB[a]), 0)
+			if tx.FadeGain != 0 {
+				gain *= tx.FadeGain
+			}
+			if !tx.FixedPhase {
+				gain *= rng.UniformPhase()
+			}
+			scales[i][a] = gain
+		}
+	}
+	return scales, int64(rng.Uint64())
+}
+
+// TestMultiChannelMatchesSingleAPOracles pins the tentpole's
+// bit-exactness contract: each per-AP buffer of a MultiChannel receive
+// must be DeepEqual to an independent single-AP air.Channel receive
+// (the retained oracle) given the same per-AP noise key (masterKey^ap)
+// and that AP's scaled-template transmissions. The oracle channels
+// re-derive everything from scratch — fresh encoders, the mirrored
+// scale draws — so the equality validates the fan-out's scale
+// composition, accumulation order, tile grid and noise-key derivation
+// against the single-AP engine, for k ∈ {1, 2, 4}.
+func TestMultiChannelMatchesSingleAPOracles(t *testing.T) {
+	p := simtest.SmallParams()
+	const nDev = 7
+	const nBits = 12
+	length := (8 + nBits + 2) * p.N()
+
+	for _, k := range []int{1, 2, 4} {
+		bits := simtest.Bits(nDev, nBits, 21)
+		txs := simtest.MultiTxs(p, nDev, k, bits)
+		const seed = 99
+		mc := air.NewMultiChannel(p, k, dsp.NewRand(seed))
+		outs := mc.Receive(length, txs)
+
+		scales, key := mirrorScalesAndKey(seed, txs, k)
+		for a := 0; a < k; a++ {
+			oracle := air.NewChannel(p, dsp.NewRand(1))
+			otxs := make([]air.Transmission, nDev)
+			for i := 0; i < nDev; i++ {
+				enc := core.NewEncoder(p, (i*7+3)%p.N())
+				b := bits[i]
+				scale := scales[i][a]
+				otx := &otxs[i]
+				otx.DelaySec = txs[i].DelaySec
+				otx.FreqOffsetHz = txs[i].FreqOffsetHz
+				otx.FixedPhase = true // scale already carries the phase
+				otx.MixedTmpl = func(tmpl []complex128, frac, freqHz float64, gain complex128) []complex128 {
+					base := enc.FrameBitsWaveformMixedTemplates(nil, b, frac, freqHz, 1)
+					return air.ScaleTemplate(tmpl, base, scale)
+				}
+				otx.MixedAddRange = func(out []complex128, lo, hi, at int, tmpl []complex128, frac, freqHz float64) {
+					enc.FrameBitsWaveformMixedAddRange(out, lo, hi, at, tmpl, b, frac, freqHz)
+				}
+			}
+			want := oracle.ReceiveIntoKeyed(make([]complex128, length), otxs, key^int64(a))
+			if !reflect.DeepEqual(outs[a], want) {
+				i := firstDiff(outs[a], want)
+				t.Fatalf("k=%d AP %d diverges from single-AP oracle at sample %d: %v vs %v",
+					k, a, i, outs[a][i], want[i])
+			}
+		}
+	}
+}
+
+func firstDiff(a, b []complex128) int {
+	for i := range a {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestMultiChannelSynthesizesTemplatesOnce pins the fan-out's economy
+// claim: template synthesis (MixedTmpl) runs exactly once per
+// contributing device per receive, regardless of the AP count — the
+// per-AP variation is applied by scaling, never by re-synthesis.
+func TestMultiChannelSynthesizesTemplatesOnce(t *testing.T) {
+	p := simtest.SmallParams()
+	const nDev = 5
+	const k = 4
+	bits := simtest.Bits(nDev, 9, 3)
+	txs := simtest.MultiTxs(p, nDev, k, bits)
+	var calls atomic.Int64
+	for i := range txs {
+		inner := txs[i].MixedTmpl
+		txs[i].MixedTmpl = func(tmpl []complex128, frac, freqHz float64, gain complex128) []complex128 {
+			calls.Add(1)
+			return inner(tmpl, frac, freqHz, gain)
+		}
+	}
+	mc := air.NewMultiChannel(p, k, dsp.NewRand(5))
+	length := (8 + 9 + 2) * p.N()
+	outs := mc.Receive(length, txs)
+	if got := calls.Load(); got != nDev {
+		t.Fatalf("first receive synthesized %d templates for %d devices", got, nDev)
+	}
+	mc.ReceiveInto(outs, txs)
+	if got := calls.Load(); got != 2*nDev {
+		t.Fatalf("after two receives: %d synth calls, want %d", got, 2*nDev)
+	}
+}
+
+// TestMultiChannelBitIdenticalAcrossGOMAXPROCSRace pins the fan-out's
+// determinism contract under the race detector: all k buffers are
+// bit-identical across GOMAXPROCS ∈ {1, 2, 4} — the (AP, tile)-indexed
+// noise streams and transmission-ordered accumulation make every
+// buffer a pure function of (seed, transmissions), not of worker
+// scheduling.
+func TestMultiChannelBitIdenticalAcrossGOMAXPROCSRace(t *testing.T) {
+	p := simtest.SmallParams()
+	const nDev = 12
+	const k = 3
+	length := (8 + 16 + 3) * p.N()
+
+	run := func(procs int) [][]complex128 {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		bits := simtest.Bits(nDev, 16, 8)
+		mc := air.NewMultiChannel(p, k, dsp.NewRand(44))
+		outs := mc.Receive(length, simtest.MultiTxs(p, nDev, k, bits))
+		// A second round through the same channel exercises arena reuse.
+		mc.Rng = dsp.NewRand(44)
+		outs2 := mc.Receive(length, simtest.MultiTxs(p, nDev, k, bits))
+		for a := range outs {
+			if !reflect.DeepEqual(outs[a], outs2[a]) {
+				t.Fatalf("procs=%d: arena reuse diverged at AP %d", procs, a)
+			}
+		}
+		return outs
+	}
+
+	want := run(1)
+	for _, procs := range []int{2, 4} {
+		got := run(procs)
+		for a := range want {
+			if !reflect.DeepEqual(got[a], want[a]) {
+				i := firstDiff(got[a], want[a])
+				t.Fatalf("GOMAXPROCS=%d AP %d diverges from serial at sample %d", procs, a, i)
+			}
+		}
+	}
+}
+
+// TestMultiChannelZeroAllocSteadyState: after a warm-up receive, the
+// multi-AP fan-out reuses every arena — base templates, per-AP scaled
+// templates, scales, placements — so steady-state receives allocate
+// nothing at GOMAXPROCS=1.
+func TestMultiChannelZeroAllocSteadyState(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	p := simtest.SmallParams()
+	const nDev = 6
+	const k = 2
+	bits := simtest.Bits(nDev, 10, 6)
+	txs := simtest.MultiTxs(p, nDev, k, bits)
+	mc := air.NewMultiChannel(p, k, dsp.NewRand(9))
+	outs := mc.Receive((8+10+2)*p.N(), txs)
+	allocs := testing.AllocsPerRun(10, func() { mc.ReceiveInto(outs, txs) })
+	if allocs != 0 {
+		t.Fatalf("steady-state multi-AP receive allocates %.1f objects/op", allocs)
+	}
+}
+
+// TestMultiChannelNoiseIndependentPerAP: with no transmissions the
+// buffers are pure noise; distinct APs must draw distinct streams
+// (key^ap), and AP 0's stream must be exactly the single-AP channel's
+// for the same Rng sequence — the degeneracy that makes a one-AP multi
+// deployment the classic deployment.
+func TestMultiChannelNoiseIndependentPerAP(t *testing.T) {
+	p := simtest.SmallParams()
+	length := 3 * p.N()
+	mc := air.NewMultiChannel(p, 3, dsp.NewRand(12))
+	outs := mc.Receive(length, nil)
+	for a := 1; a < 3; a++ {
+		if reflect.DeepEqual(outs[0], outs[a]) {
+			t.Fatalf("AP %d drew AP 0's noise stream", a)
+		}
+	}
+	ch := air.NewChannel(p, dsp.NewRand(12))
+	single := ch.Receive(length, nil)
+	if !reflect.DeepEqual(outs[0], single) {
+		t.Fatal("AP 0's noise differs from the single-AP channel at the same seed")
+	}
+	// Correlation sanity: distinct streams should be near-orthogonal.
+	var dot, p0, p1 float64
+	for i := range outs[0] {
+		dot += real(outs[0][i])*real(outs[1][i]) + imag(outs[0][i])*imag(outs[1][i])
+		p0 += real(outs[0][i])*real(outs[0][i]) + imag(outs[0][i])*imag(outs[0][i])
+		p1 += real(outs[1][i])*real(outs[1][i]) + imag(outs[1][i])*imag(outs[1][i])
+	}
+	if corr := math.Abs(dot) / math.Sqrt(p0*p1); corr > 0.1 {
+		t.Fatalf("per-AP noise streams correlate at %.3f", corr)
+	}
+}

@@ -1,50 +1,17 @@
-package air
+package air_test
+
+// The fleet constructors these tests used to carry live in
+// internal/simtest now (TiledTxs, Bits), shared with the sim and
+// multi-AP suites.
 
 import (
 	"runtime"
 	"testing"
 
-	"netscatter/internal/chirp"
-	"netscatter/internal/core"
+	"netscatter/internal/air"
 	"netscatter/internal/dsp"
+	"netscatter/internal/simtest"
 )
-
-// tiledTxs builds a fleet of template-path transmissions (and,
-// optionally, the equivalent Mixed-path fleet) over shared bit
-// sections.
-func tiledTxs(p chirp.Params, nDev int, bits [][]byte, mixed bool) []Transmission {
-	txs := make([]Transmission, nDev)
-	for i := 0; i < nDev; i++ {
-		enc := core.NewEncoder(p, (i*7+3)%p.N())
-		b := bits[i]
-		tx := &txs[i]
-		tx.SNRdB = float64(3 + i%9)
-		tx.DelaySec = float64(i%5)/p.SampleRate() + 0.31/p.SampleRate()
-		tx.FreqOffsetHz = float64(i*13%90) - 40
-		if mixed {
-			tx.Mixed = func(dst []complex128, frac, freqHz float64, gain complex128) []complex128 {
-				return enc.FrameBitsWaveformMixedInto(dst, b, frac, freqHz, gain)
-			}
-		} else {
-			tx.MixedTmpl = func(tmpl []complex128, frac, freqHz float64, gain complex128) []complex128 {
-				return enc.FrameBitsWaveformMixedTemplates(tmpl, b, frac, freqHz, gain)
-			}
-			tx.MixedAddRange = func(out []complex128, lo, hi, at int, tmpl []complex128, frac, freqHz float64) {
-				enc.FrameBitsWaveformMixedAddRange(out, lo, hi, at, tmpl, b, frac, freqHz)
-			}
-		}
-	}
-	return txs
-}
-
-func testBits(nDev, nBits int, seed int64) [][]byte {
-	rng := dsp.NewRand(seed)
-	bits := make([][]byte, nDev)
-	for i := range bits {
-		bits[i] = rng.Bits(nBits)
-	}
-	return bits
-}
 
 // TestReceiveTiledMatchesMixedBitExact pins the tiled path against the
 // legacy Mixed path: with identical rng sequences the two regimes must
@@ -52,15 +19,15 @@ func testBits(nDev, nBits int, seed int64) [][]byte {
 // per-sample accumulation argument for the signal (same products, same
 // transmission order) plus the shared tile-grid noise definition.
 func TestReceiveTiledMatchesMixedBitExact(t *testing.T) {
-	p := chirp.Params{SF: 7, BW: 125e3, Oversample: 1}
+	p := simtest.SmallParams()
 	const nDev = 9
-	bits := testBits(nDev, 14, 4)
+	bits := simtest.Bits(nDev, 14, 4)
 
 	length := (8 + 14 + 2) * p.N()
-	chA := NewChannel(p, dsp.NewRand(77))
-	outA := chA.Receive(length, tiledTxs(p, nDev, bits, false))
-	chB := NewChannel(p, dsp.NewRand(77))
-	outB := chB.Receive(length, tiledTxs(p, nDev, bits, true))
+	chA := air.NewChannel(p, dsp.NewRand(77))
+	outA := chA.Receive(length, simtest.TiledTxs(p, nDev, bits, false))
+	chB := air.NewChannel(p, dsp.NewRand(77))
+	outB := chB.Receive(length, simtest.TiledTxs(p, nDev, bits, true))
 	for i := range outA {
 		if outA[i] != outB[i] {
 			t.Fatalf("tiled and mixed paths diverge at sample %d: %v vs %v", i, outA[i], outB[i])
@@ -74,19 +41,19 @@ func TestReceiveTiledMatchesMixedBitExact(t *testing.T) {
 // streams and transmission-ordered accumulation make the output a pure
 // function of (seed, transmissions), not of worker scheduling.
 func TestReceiveTiledParallelBitIdenticalRace(t *testing.T) {
-	p := chirp.Params{SF: 7, BW: 125e3, Oversample: 1}
+	p := simtest.SmallParams()
 	const nDev = 16
-	bits := testBits(nDev, 18, 5)
+	bits := simtest.Bits(nDev, 18, 5)
 	length := (8 + 18 + 3) * p.N()
 
 	run := func(procs int) []complex128 {
 		prev := runtime.GOMAXPROCS(procs)
 		defer runtime.GOMAXPROCS(prev)
-		ch := NewChannel(p, dsp.NewRand(31))
-		out := ch.Receive(length, tiledTxs(p, nDev, bits, false))
+		ch := air.NewChannel(p, dsp.NewRand(31))
+		out := ch.Receive(length, simtest.TiledTxs(p, nDev, bits, false))
 		// A second round through the same channel exercises arena reuse.
 		ch.Rng = dsp.NewRand(31)
-		out2 := ch.ReceiveInto(make([]complex128, length), tiledTxs(p, nDev, bits, false))
+		out2 := ch.ReceiveInto(make([]complex128, length), simtest.TiledTxs(p, nDev, bits, false))
 		for i := range out {
 			if out[i] != out2[i] {
 				t.Fatalf("procs=%d: arena reuse diverged at sample %d", procs, i)
@@ -111,8 +78,8 @@ func TestReceiveTiledParallelBitIdenticalRace(t *testing.T) {
 // the exact noise (the round key is drawn from it), while consecutive
 // rounds with an advancing Rng draw fresh noise.
 func TestReceiveTiledNoiseReplayable(t *testing.T) {
-	p := chirp.Params{SF: 7, BW: 125e3, Oversample: 1}
-	ch := NewChannel(p, dsp.NewRand(8))
+	p := simtest.SmallParams()
+	ch := air.NewChannel(p, dsp.NewRand(8))
 	a := ch.Receive(4*p.N(), nil)
 	b := ch.Receive(4*p.N(), nil) // Rng advanced: different key
 	same := true
@@ -141,11 +108,11 @@ func TestReceiveTiledZeroAllocSteadyState(t *testing.T) {
 	prev := runtime.GOMAXPROCS(1)
 	defer runtime.GOMAXPROCS(prev)
 
-	p := chirp.Params{SF: 7, BW: 125e3, Oversample: 1}
+	p := simtest.SmallParams()
 	const nDev = 6
-	bits := testBits(nDev, 10, 6)
-	txs := tiledTxs(p, nDev, bits, false)
-	ch := NewChannel(p, dsp.NewRand(9))
+	bits := simtest.Bits(nDev, 10, 6)
+	txs := simtest.TiledTxs(p, nDev, bits, false)
+	ch := air.NewChannel(p, dsp.NewRand(9))
 	out := make([]complex128, (8+10+2)*p.N())
 	ch.ReceiveInto(out, txs)
 	allocs := testing.AllocsPerRun(10, func() { ch.ReceiveInto(out, txs) })

@@ -74,6 +74,36 @@ type Device struct {
 	// UplinkSNRdB is the backscatter SNR at the AP over the receive
 	// bandwidth at maximum tag power gain (0 dB).
 	UplinkSNRdB float64
+	// APLinks holds the per-AP link budgets from the last PlaceAPs
+	// call, parallel to Deployment.APs; nil until APs are placed. It
+	// lives on the device (not the deployment) so sub-deployments
+	// built by copying device slices keep their geometry.
+	APLinks []APLink
+}
+
+// BestAP returns the index of the AP with the strongest uplink from
+// this device, or -1 when no APs have been placed.
+func (d *Device) BestAP() int {
+	best := -1
+	for a := range d.APLinks {
+		if best < 0 || d.APLinks[a].UplinkSNRdB > d.APLinks[best].UplinkSNRdB {
+			best = a
+		}
+	}
+	return best
+}
+
+// APLink is the link budget between one device and one placed AP.
+type APLink struct {
+	// Dist is the device↔AP distance in meters.
+	Dist float64
+	// Walls is the number of interior walls between device and AP.
+	Walls int
+	// DownlinkRSSIdBm is this AP's query strength at the tag.
+	DownlinkRSSIdBm float64
+	// UplinkSNRdB is the backscatter SNR at this AP at maximum tag
+	// power gain (0 dB).
+	UplinkSNRdB float64
 }
 
 // Deployment is a generated testbed.
@@ -81,6 +111,12 @@ type Deployment struct {
 	Plan    FloorPlan
 	Budget  radio.LinkBudget
 	Devices []Device
+	// BWHz is the receive bandwidth the uplink SNRs were computed over
+	// (set by Generate, reused by PlaceAPs).
+	BWHz float64
+	// APs holds the multi-AP positions from the last PlaceAPs call;
+	// empty for classic single-AP deployments (Plan.AP only).
+	APs []Point
 }
 
 // MinAPDistance keeps devices out of the AP's immediate vicinity. The
@@ -92,7 +128,7 @@ const MinAPDistance = 5.0
 // Generate places n devices uniformly over the floor (at least
 // MinAPDistance from the AP) and computes their link budgets over bwHz.
 func Generate(plan FloorPlan, budget radio.LinkBudget, n int, bwHz float64, rng *dsp.Rand) *Deployment {
-	d := &Deployment{Plan: plan, Budget: budget}
+	d := &Deployment{Plan: plan, Budget: budget, BWHz: bwHz}
 	d.Devices = make([]Device, 0, n)
 	for len(d.Devices) < n {
 		p := Point{X: rng.Uniform(0.5, plan.Width-0.5), Y: rng.Uniform(0.5, plan.Height-0.5)}
@@ -109,6 +145,81 @@ func Generate(plan FloorPlan, budget radio.LinkBudget, n int, bwHz float64, rng 
 		})
 	}
 	return d
+}
+
+// APPositions returns the deterministic k-AP placement for a floor:
+// APs evenly spaced along the long axis at mid-height, x_a =
+// (2a+1)·Width/(2k). For k = 1 this is the floor center — the
+// DefaultOffice's single AP — so a one-AP multi deployment reproduces
+// the classic geometry exactly.
+func APPositions(plan FloorPlan, k int) []Point {
+	pts := make([]Point, k)
+	for a := 0; a < k; a++ {
+		pts[a] = Point{
+			X: float64(2*a+1) * plan.Width / float64(2*k),
+			Y: plan.Height / 2,
+		}
+	}
+	return pts
+}
+
+// PlaceAPs places k APs on the floor (APPositions) and computes every
+// device's per-AP link budget over the deployment's bandwidth,
+// populating Deployment.APs and each Device.APLinks. Placement is a
+// pure function of (plan, budget, device positions, k) — no randomness
+// — so it is idempotent and replayable. Devices were generated at
+// least MinAPDistance from the central AP but may sit arbitrarily
+// close to the placed ones; the link budget's AGC cap bounds their
+// received SNR the same way it bounds the classic deployment's.
+//
+// Not safe to call concurrently with readers of the same deployment;
+// place APs before fanning networks out over a shared deployment.
+func (d *Deployment) PlaceAPs(k int) []Point {
+	bw := d.BWHz
+	if bw == 0 {
+		bw = 500e3 // pre-BWHz deployments: the paper's receive bandwidth
+	}
+	d.APs = APPositions(d.Plan, k)
+	for i := range d.Devices {
+		dev := &d.Devices[i]
+		if cap(dev.APLinks) < k {
+			dev.APLinks = make([]APLink, k)
+		}
+		dev.APLinks = dev.APLinks[:k]
+		for a, ap := range d.APs {
+			dist := dev.Pos.Distance(ap)
+			walls := d.Plan.WallsBetween(dev.Pos, ap)
+			dev.APLinks[a] = APLink{
+				Dist:            dist,
+				Walls:           walls,
+				DownlinkRSSIdBm: d.Budget.DownlinkRSSIdBm(dist, walls),
+				UplinkSNRdB:     d.Budget.UplinkSNRdB(dist, walls, 0, bw),
+			}
+		}
+	}
+	return d.APs
+}
+
+// BestSNRs returns each device's best-AP uplink SNR (the diversity
+// network's effective per-device strength). Requires PlaceAPs.
+func (d *Deployment) BestSNRs() []float64 {
+	out := make([]float64, len(d.Devices))
+	for i := range d.Devices {
+		dev := &d.Devices[i]
+		best := dev.BestAP()
+		if best < 0 {
+			panic("deploy: BestSNRs before PlaceAPs — no AP links placed")
+		}
+		out[i] = dev.APLinks[best].UplinkSNRdB
+	}
+	return out
+}
+
+// BestSNRSpreadDB returns the max-min spread of best-AP uplink SNRs —
+// the near-far range a multi-AP deployment actually has to absorb.
+func (d *Deployment) BestSNRSpreadDB() float64 {
+	min, max := dsp.MinMax(d.BestSNRs())
+	return max - min
 }
 
 // SNRs returns the uplink SNRs of all devices.

@@ -101,3 +101,131 @@ func TestPointDistance(t *testing.T) {
 		t.Fatalf("distance = %v", got)
 	}
 }
+
+// TestAPPositionsGeometry: the deterministic placement spreads k APs
+// along the long axis at mid-height, inside the floor, pairwise
+// distinct — and k=1 reproduces the classic central AP, the degeneracy
+// the multi-AP subsystem's single-AP compatibility rests on.
+func TestAPPositionsGeometry(t *testing.T) {
+	plan := DefaultOffice
+	for _, k := range []int{1, 2, 4, 8} {
+		pts := APPositions(plan, k)
+		if len(pts) != k {
+			t.Fatalf("k=%d: %d positions", k, len(pts))
+		}
+		for a, p := range pts {
+			if p.X <= 0 || p.X >= plan.Width || p.Y <= 0 || p.Y >= plan.Height {
+				t.Fatalf("k=%d AP %d outside floor: %+v", k, a, p)
+			}
+			if p.Y != plan.Height/2 {
+				t.Fatalf("k=%d AP %d off the mid-height axis: %+v", k, a, p)
+			}
+			if a > 0 && pts[a].X <= pts[a-1].X {
+				t.Fatalf("k=%d APs not strictly ordered: %+v", k, pts)
+			}
+		}
+	}
+	if one := APPositions(plan, 1)[0]; one != plan.AP {
+		t.Fatalf("k=1 placement %+v != classic AP %+v", one, plan.AP)
+	}
+}
+
+// TestPlaceAPsCoverage: table-driven over k ∈ {1, 2, 4} — every device
+// must be within budget of at least one AP (best-AP downlink above the
+// envelope-detector sensitivity, so every tag can hear a query), every
+// per-AP link must be fully populated with plausible values, and link
+// budgets must be the exact budget-model outputs for the recorded
+// distance/walls geometry.
+func TestPlaceAPsCoverage(t *testing.T) {
+	for _, k := range []int{1, 2, 4} {
+		rng := dsp.NewRand(4)
+		dep := Generate(DefaultOffice, radio.DefaultLinkBudget, 128, 500e3, rng)
+		dep.PlaceAPs(k)
+		if len(dep.APs) != k {
+			t.Fatalf("k=%d: %d APs placed", k, len(dep.APs))
+		}
+		for i := range dep.Devices {
+			dev := &dep.Devices[i]
+			if len(dev.APLinks) != k {
+				t.Fatalf("k=%d device %d has %d links", k, i, len(dev.APLinks))
+			}
+			best := dev.BestAP()
+			if best < 0 || best >= k {
+				t.Fatalf("k=%d device %d best AP %d", k, i, best)
+			}
+			bestDown := dev.APLinks[0].DownlinkRSSIdBm
+			for a, l := range dev.APLinks {
+				if want := dev.Pos.Distance(dep.APs[a]); l.Dist != want {
+					t.Fatalf("k=%d device %d AP %d dist %v != %v", k, i, a, l.Dist, want)
+				}
+				if want := dep.Budget.UplinkSNRdB(l.Dist, l.Walls, 0, dep.BWHz); l.UplinkSNRdB != want {
+					t.Fatalf("k=%d device %d AP %d SNR %v != budget %v", k, i, a, l.UplinkSNRdB, want)
+				}
+				if l.DownlinkRSSIdBm > bestDown {
+					bestDown = l.DownlinkRSSIdBm
+				}
+			}
+			if bestDown < radio.DefaultEnvelopeDetector.SensitivityDBm {
+				t.Fatalf("k=%d device %d best downlink %v dBm below envelope sensitivity — uncovered",
+					k, i, bestDown)
+			}
+		}
+	}
+}
+
+// TestPlaceAPsWallsSymmetric: WallsBetween is symmetric for every
+// AP↔device pair of every placement — the wall count a device's uplink
+// sees is the wall count the AP's downlink sees.
+func TestPlaceAPsWallsSymmetric(t *testing.T) {
+	rng := dsp.NewRand(6)
+	dep := Generate(DefaultOffice, radio.DefaultLinkBudget, 64, 500e3, rng)
+	for _, k := range []int{1, 2, 4} {
+		dep.PlaceAPs(k)
+		for i := range dep.Devices {
+			dev := &dep.Devices[i]
+			for a, ap := range dep.APs {
+				fwd := dep.Plan.WallsBetween(dev.Pos, ap)
+				rev := dep.Plan.WallsBetween(ap, dev.Pos)
+				if fwd != rev {
+					t.Fatalf("k=%d device %d AP %d: walls %d forward, %d reverse", k, i, a, fwd, rev)
+				}
+				if fwd != dev.APLinks[a].Walls {
+					t.Fatalf("k=%d device %d AP %d: recorded walls %d, geometry %d",
+						k, i, a, dev.APLinks[a].Walls, fwd)
+				}
+			}
+		}
+	}
+}
+
+// TestPlaceAPsSNRSpreadRegression: densifying the infrastructure
+// shrinks the near-far problem — the best-AP SNR spread is monotone
+// non-increasing in k, and the weakest best-AP link is monotone
+// non-decreasing (every extra AP can only shorten someone's best
+// path). Pinned per seed; a placement or budget regression that
+// weakens coverage trips this.
+func TestPlaceAPsSNRSpreadRegression(t *testing.T) {
+	for _, seed := range []int64{2, 9, 31} {
+		rng := dsp.NewRand(seed)
+		dep := Generate(DefaultOffice, radio.DefaultLinkBudget, 256, 500e3, rng)
+		prevSpread := math.Inf(1)
+		prevMin := math.Inf(-1)
+		for _, k := range []int{1, 2, 4} {
+			dep.PlaceAPs(k)
+			spread := dep.BestSNRSpreadDB()
+			min, _ := dsp.MinMax(dep.BestSNRs())
+			if spread > prevSpread {
+				t.Fatalf("seed %d: spread grew %v -> %v dB going to k=%d", seed, prevSpread, spread, k)
+			}
+			if min < prevMin {
+				t.Fatalf("seed %d: weakest best-AP SNR fell %v -> %v dB going to k=%d", seed, prevMin, min, k)
+			}
+			prevSpread, prevMin = spread, min
+		}
+		// k=1 must reproduce the classic single-AP spread exactly.
+		dep.PlaceAPs(1)
+		if got, want := dep.BestSNRSpreadDB(), dep.SNRSpreadDB(); got != want {
+			t.Fatalf("seed %d: 1-AP spread %v != classic %v", seed, got, want)
+		}
+	}
+}

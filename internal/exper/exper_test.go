@@ -36,7 +36,7 @@ func cell(t *testing.T, tab Table, row, col int) float64 {
 func TestRegistryComplete(t *testing.T) {
 	// One experiment per paper artifact listed in DESIGN.md.
 	want := []string{"T1", "C1", "F4", "F7", "F8", "F9", "F12", "F14A", "F14B",
-		"F15A", "F15B", "F16", "F17", "F18", "F19", "S1", "B1"}
+		"F15A", "F15B", "F16", "F17", "F18", "F19", "S1", "B1", "M1"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %s missing", id)
@@ -154,6 +154,33 @@ func TestFig19LatencyFlat(t *testing.T) {
 	fixedLast := mustF(t, tab.Rows[len(tab.Rows)-1][1])
 	if fixedLast < 30*nsLast {
 		t.Fatalf("latency gain only %vx", fixedLast/nsLast)
+	}
+}
+
+func TestMultiAPDiversityShape(t *testing.T) {
+	res := runByID(t, "M1")
+	tab := res.Tables[0]
+	if len(tab.Rows) != 6 { // k ∈ {1,2,4} × quick ns {16, 64}
+		t.Fatalf("M1 rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		comb := mustF(t, row[2])
+		best := mustF(t, row[3])
+		mean := mustF(t, row[4])
+		// Selection combining can never do worse than the best single
+		// AP, and the best AP never worse than the average AP.
+		if comb > best+1e-9 {
+			t.Fatalf("combined PER %v above best-AP PER %v (row %v)", comb, best, row)
+		}
+		if best > mean+1e-9 {
+			t.Fatalf("best-AP PER %v above mean-AP PER %v (row %v)", best, mean, row)
+		}
+	}
+	// k=1 rows: combining over one AP is exactly that AP.
+	for _, row := range tab.Rows[:2] {
+		if comb, best := mustF(t, row[2]), mustF(t, row[3]); comb != best {
+			t.Fatalf("k=1 combined PER %v != single-AP PER %v", comb, best)
+		}
 	}
 }
 

@@ -125,27 +125,33 @@ func nearFarBER(snrDB, diffDB float64, shift2, symbols int, rng *dsp.Rand) float
 	const shift1 = 2
 	batch := 96
 	var errs, total int
+	// Encoders, channel, transmission slots and the receive buffer are
+	// hoisted out of the trial loop (the Mixed closures read the bit
+	// sections through variables rewritten per trial): same rng draw
+	// order, same bits, no per-trial frame-sized allocations.
+	enc1 := core.NewEncoder(p, shift1)
+	enc2 := core.NewEncoder(p, shift2)
+	var bits1, bits2 []byte
+	txs := []air.Transmission{{SNRdB: snrDB}}
+	txs[0].Mixed = func(dst []complex128, frac, freqHz float64, gain complex128) []complex128 {
+		return enc1.FrameBitsWaveformMixedInto(dst, bits1, frac, freqHz, gain)
+	}
+	if diffDB > 0 {
+		txs = append(txs, air.Transmission{SNRdB: snrDB + diffDB})
+		txs[1].Mixed = func(dst []complex128, frac, freqHz float64, gain complex128) []complex128 {
+			return enc2.FrameBitsWaveformMixedInto(dst, bits2, frac, freqHz, gain)
+		}
+	}
+	ch := air.NewChannel(p, rng)
+	sig := make([]complex128, ch.FrameLength(core.PreambleSymbols+batch, 2))
 	for total < symbols {
-		bits1 := rng.Bits(batch)
-		bits2 := rng.Bits(batch)
-		enc1 := core.NewEncoder(p, shift1)
-		enc2 := core.NewEncoder(p, shift2)
-		txs := []air.Transmission{
-			{
-				Mixed:        frameBitsMixed(enc1, bits1),
-				SNRdB:        snrDB,
-				FreqOffsetHz: rng.Normal(0, 300),
-			},
-		}
+		bits1 = rng.Bits(batch)
+		bits2 = rng.Bits(batch)
+		txs[0].FreqOffsetHz = rng.Normal(0, 300)
 		if diffDB > 0 {
-			txs = append(txs, air.Transmission{
-				Mixed:        frameBitsMixed(enc2, bits2),
-				SNRdB:        snrDB + diffDB,
-				FreqOffsetHz: rng.Normal(0, 300),
-			})
+			txs[1].FreqOffsetHz = rng.Normal(0, 300)
 		}
-		ch := air.NewChannel(p, rng)
-		sig := ch.Receive(ch.FrameLength(core.PreambleSymbols+batch, 2), txs)
+		ch.ReceiveInto(sig, txs)
 		res, err := dec.DecodeFrame(sig, 0, []int{shift1}, batch)
 		if err != nil {
 			return 1
@@ -163,14 +169,6 @@ func nearFarBER(snrDB, diffDB float64, shift2, symbols int, rng *dsp.Rand) float
 		total += batch
 	}
 	return float64(errs) / float64(total)
-}
-
-// frameBitsMixed returns a channel-mixed synthesis callback around raw
-// payload bits (no CRC append — BER experiments use raw bits).
-func frameBitsMixed(enc *core.Encoder, bits []byte) func(dst []complex128, frac, freqHz float64, gain complex128) []complex128 {
-	return func(dst []complex128, frac, freqHz float64, gain complex128) []complex128 {
-		return enc.FrameBitsWaveformMixedInto(dst, bits, frac, freqHz, gain)
-	}
 }
 
 func runFig12(cfg Config) (*Result, error) {
@@ -272,25 +270,26 @@ func weakDeviceBER(strongSNR, diffDB float64, sep, symbols int, rng *dsp.Rand) f
 	dec := core.NewDecoder(book, core.DefaultDecoderConfig(2))
 	batch := 96
 	var errs, total int
+	// Hoisted like nearFarBER: per-trial state is the bit sections and
+	// frequency offsets, not encoders, channels or buffers.
+	encS := core.NewEncoder(p, 0)
+	encW := core.NewEncoder(p, sep)
+	var bitsW, bitsS []byte
+	txs := []air.Transmission{{SNRdB: strongSNR}, {SNRdB: strongSNR - diffDB}}
+	txs[0].Mixed = func(dst []complex128, frac, freqHz float64, gain complex128) []complex128 {
+		return encS.FrameBitsWaveformMixedInto(dst, bitsS, frac, freqHz, gain)
+	}
+	txs[1].Mixed = func(dst []complex128, frac, freqHz float64, gain complex128) []complex128 {
+		return encW.FrameBitsWaveformMixedInto(dst, bitsW, frac, freqHz, gain)
+	}
+	ch := air.NewChannel(p, rng)
+	sig := make([]complex128, ch.FrameLength(core.PreambleSymbols+batch, 2))
 	for total < symbols {
-		bitsW := rng.Bits(batch)
-		bitsS := rng.Bits(batch)
-		encS := core.NewEncoder(p, 0)
-		encW := core.NewEncoder(p, sep)
-		txs := []air.Transmission{
-			{
-				Mixed:        frameBitsMixed(encS, bitsS),
-				SNRdB:        strongSNR,
-				FreqOffsetHz: rng.Normal(0, 300),
-			},
-			{
-				Mixed:        frameBitsMixed(encW, bitsW),
-				SNRdB:        strongSNR - diffDB,
-				FreqOffsetHz: rng.Normal(0, 300),
-			},
-		}
-		ch := air.NewChannel(p, rng)
-		sig := ch.Receive(ch.FrameLength(core.PreambleSymbols+batch, 2), txs)
+		bitsW = rng.Bits(batch)
+		bitsS = rng.Bits(batch)
+		txs[0].FreqOffsetHz = rng.Normal(0, 300)
+		txs[1].FreqOffsetHz = rng.Normal(0, 300)
+		ch.ReceiveInto(sig, txs)
 		res, err := dec.DecodeFrame(sig, 0, []int{sep}, batch)
 		if err != nil {
 			return 1

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"testing"
+
+	"netscatter/internal/core"
+)
+
+// decodeSetFromBytes deterministically expands raw fuzz bytes into a
+// per-AP decode set: nAPs ∈ [1, 5] frame decodes over nDev ∈ [1, 16]
+// candidates, each device flag byte encoding detection, CRC validity
+// and a small power level. The encoding deliberately reaches the
+// aggregator's corner cases: empty APs (no detections), duplicates
+// (several APs detecting one device), conflicts (CRC-valid decodes at
+// different power), and nil AP entries.
+func decodeSetFromBytes(data []byte) (perAP []*core.FrameDecode, nDev int) {
+	if len(data) < 2 {
+		return nil, 0
+	}
+	nAPs := 1 + int(data[0]%5)
+	nDev = 1 + int(data[1]%16)
+	data = data[2:]
+	perAP = make([]*core.FrameDecode, nAPs)
+	for a := 0; a < nAPs; a++ {
+		if a*nDev < len(data) && data[a*nDev]%17 == 0 {
+			continue // a nil AP: decoder error or absent receiver
+		}
+		res := &core.FrameDecode{Devices: make([]core.DeviceDecode, nDev)}
+		for i := 0; i < nDev; i++ {
+			var b byte
+			if idx := a*nDev + i; idx < len(data) {
+				b = data[idx]
+			}
+			d := &res.Devices[i]
+			d.Shift = i
+			d.Detected = b&1 != 0
+			d.CRCOK = d.Detected && b&2 != 0
+			d.MeanPeakPower = float64(b >> 2)
+		}
+		perAP[a] = res
+	}
+	return perAP, nDev
+}
+
+// FuzzAggregateDecodes pins the cross-AP aggregator's invariants over
+// arbitrary per-AP decode sets: a device decoded by any AP is never
+// dropped, a device decoded by several APs is represented exactly once
+// (no double counting), the chosen AP really detected the device,
+// CRC-valid decodes always outrank detected-only ones, and within a
+// class the choice has maximal observed power. Seeds cover the shapes
+// called out in the contract: empty APs, duplicates, CRC conflicts.
+func FuzzAggregateDecodes(f *testing.F) {
+	f.Add([]byte{0, 0})                                  // 1 AP, 1 device, nothing detected
+	f.Add([]byte{1, 2, 1, 1, 3, 3})                      // duplicates across 2 APs
+	f.Add([]byte{2, 1, 3, 7, 255})                       // CRC conflict at different powers
+	f.Add([]byte{4, 3, 0, 0, 0, 1, 1, 1, 3, 3, 3})       // an empty AP among detecting ones
+	f.Add([]byte{3, 15, 5, 1, 2, 3, 4, 5, 6, 7, 8, 9})   // wide candidate set, sparse data
+	f.Add([]byte{4, 7, 17, 34, 51, 68, 85, 102, 1, 255}) // nil-AP marker bytes
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		perAP, nDev := decodeSetFromBytes(data)
+		if nDev == 0 {
+			return
+		}
+		sel := make([]int, nDev)
+		got := AggregateDecodes(sel, perAP)
+
+		represented := 0
+		for i := 0; i < nDev; i++ {
+			detectedBy := 0
+			anyCRC := false
+			bestPower := -1.0
+			bestCRCPower := -1.0
+			for _, res := range perAP {
+				if res == nil {
+					continue
+				}
+				d := &res.Devices[i]
+				if !d.Detected {
+					continue
+				}
+				detectedBy++
+				if d.MeanPeakPower > bestPower {
+					bestPower = d.MeanPeakPower
+				}
+				if d.CRCOK {
+					anyCRC = true
+					if d.MeanPeakPower > bestCRCPower {
+						bestCRCPower = d.MeanPeakPower
+					}
+				}
+			}
+			switch {
+			case detectedBy == 0:
+				if sel[i] != -1 {
+					t.Fatalf("device %d detected nowhere but represented by AP %d", i, sel[i])
+				}
+			default:
+				// Never dropped, represented exactly once (sel holds a
+				// single AP per device by construction — the property is
+				// that it is valid).
+				a := sel[i]
+				if a < 0 || a >= len(perAP) || perAP[a] == nil {
+					t.Fatalf("device %d (detected by %d APs) got invalid selection %d", i, detectedBy, a)
+				}
+				d := &perAP[a].Devices[i]
+				if !d.Detected {
+					t.Fatalf("device %d represented by AP %d which did not detect it", i, a)
+				}
+				if anyCRC && !d.CRCOK {
+					t.Fatalf("device %d has a CRC-valid decode but selection (AP %d) is CRC-invalid", i, a)
+				}
+				if anyCRC && d.MeanPeakPower != bestCRCPower {
+					t.Fatalf("device %d: chose CRC-valid power %v, best is %v", i, d.MeanPeakPower, bestCRCPower)
+				}
+				if !anyCRC && d.MeanPeakPower != bestPower {
+					t.Fatalf("device %d: chose power %v, best is %v", i, d.MeanPeakPower, bestPower)
+				}
+				represented++
+			}
+		}
+		if got != represented {
+			t.Fatalf("AggregateDecodes reported %d represented devices, invariant count is %d", got, represented)
+		}
+	})
+}

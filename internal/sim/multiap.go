@@ -1,0 +1,343 @@
+package sim
+
+// Multi-AP deployments: one device fleet heard by k access points.
+// Every device transmits once per round; each AP receives the
+// superposition over its own links (air.MultiChannel's shared-template
+// fan-out), decodes the full candidate set through its own
+// ParallelDecoder arenas, and a cross-AP aggregator merges the per-AP
+// decodes — best-SNR selection with CRC preference, deduplicated by
+// device — into the network-wide round outcome. See DESIGN-multiap.md.
+
+import (
+	"fmt"
+
+	"netscatter/internal/air"
+	"netscatter/internal/core"
+	"netscatter/internal/deploy"
+	"netscatter/internal/dsp"
+	"netscatter/internal/hw"
+	"netscatter/internal/mac"
+	"netscatter/internal/radio"
+)
+
+// MultiRoundStats is one multi-AP round's statistics: the combined
+// (post-aggregation) outcome plus each AP's standalone view of the same
+// round. PerAP aliases network-owned storage, valid until the next
+// RunRound call.
+type MultiRoundStats struct {
+	Combined RoundStats
+	PerAP    []RoundStats
+}
+
+// DiversityFramesGained returns how many CRC-valid frames the
+// aggregation added over the best single AP.
+func (m MultiRoundStats) DiversityFramesGained() int {
+	best := 0
+	for _, s := range m.PerAP {
+		if s.FramesOK > best {
+			best = s.FramesOK
+		}
+	}
+	return m.Combined.FramesOK - best
+}
+
+// MultiAPNetwork is a deployed NetScatter network heard by k APs,
+// ready to run diversity rounds.
+type MultiAPNetwork struct {
+	cfg      Config
+	dep      *deploy.Deployment
+	book     *core.CodeBook
+	decoders []*core.ParallelDecoder
+	rng      *dsp.Rand
+	mch      *air.MultiChannel
+	nAPs     int
+
+	// per-device state, parallel to dep.Devices
+	slots    []int
+	gains    []float64
+	oscs     []radio.Oscillator
+	faders   []*radio.FadingProcess
+	encs     []*core.Encoder
+	bestDist []float64 // distance to the strongest AP (delay anchor)
+
+	rc multiRoundCtx
+}
+
+// multiRoundCtx is the network's reusable round arena, the multi-AP
+// analogue of roundCtx: per-device transmissions and frame sections,
+// per-AP receive buffers, per-AP decode results and the aggregation
+// scratch — carved once at association, refilled in place each round,
+// so steady-state multi-AP rounds allocate nothing.
+type multiRoundCtx struct {
+	txs      []air.MultiTransmission
+	shifts   []int
+	payloads [][]byte
+	bits     [][]byte
+
+	payloadArena []byte
+	bitsArena    []byte
+	snrArena     []float64 // per-device, per-AP effective SNRs
+	sigArena     []complex128
+	sigs         [][]complex128
+
+	res   []*core.FrameDecode
+	sel   []int
+	perAP []RoundStats
+}
+
+// NewMultiAPNetwork associates the first maxDevices of a deployment
+// with a k-AP infrastructure. If the deployment does not already carry
+// a k-AP placement it is placed here (deploy.PlaceAPs); pre-place when
+// sharing one deployment across concurrently constructed networks.
+// Slot allocation and the association-time power rule run exactly as in
+// the single-AP network, but on each device's best-AP link — the
+// infrastructure-side controller sees every AP's RSSI and anchors each
+// device to its strongest AP.
+func NewMultiAPNetwork(cfg Config, dep *deploy.Deployment, nAPs, maxDevices int, seed int64) (*MultiAPNetwork, error) {
+	if cfg.Skip < 1 {
+		return nil, fmt.Errorf("sim: invalid SKIP %d", cfg.Skip)
+	}
+	if nAPs < 1 {
+		return nil, fmt.Errorf("sim: multi-AP network with %d APs", nAPs)
+	}
+	if maxDevices > len(dep.Devices) {
+		return nil, fmt.Errorf("sim: %d devices requested, deployment has %d", maxDevices, len(dep.Devices))
+	}
+	if len(dep.APs) != nAPs || (len(dep.Devices) > 0 && len(dep.Devices[0].APLinks) != nAPs) {
+		dep.PlaceAPs(nAPs)
+	}
+	book, err := buildCodeBook(cfg, maxDevices)
+	if err != nil {
+		return nil, err
+	}
+	dcfg := resolveDecoderConfig(cfg, book.Skip())
+	n := &MultiAPNetwork{
+		cfg:      cfg,
+		dep:      dep,
+		book:     book,
+		decoders: make([]*core.ParallelDecoder, nAPs),
+		rng:      dsp.NewRand(seed),
+		nAPs:     nAPs,
+		slots:    make([]int, maxDevices),
+		gains:    make([]float64, maxDevices),
+		oscs:     make([]radio.Oscillator, maxDevices),
+		faders:   make([]*radio.FadingProcess, maxDevices),
+		encs:     make([]*core.Encoder, maxDevices),
+		bestDist: make([]float64, maxDevices),
+	}
+	for a := range n.decoders {
+		n.decoders[a] = core.NewParallelDecoder(book, dcfg, 0)
+	}
+	n.mch = air.NewMultiChannel(cfg.Params, nAPs, n.rng)
+
+	// Association-time power rule on the best-AP downlink, then
+	// allocation on the resulting best-AP received strengths.
+	effSNR := make([]float64, maxDevices)
+	for i := 0; i < maxDevices; i++ {
+		dev := &dep.Devices[i]
+		best := dev.BestAP()
+		n.bestDist[i] = dev.APLinks[best].Dist
+		// The strongest heard query drives the device's power rule; it
+		// may come from a different AP than the best-uplink anchor.
+		bestDown := dev.APLinks[0].DownlinkRSSIdBm
+		for _, l := range dev.APLinks[1:] {
+			if l.DownlinkRSSIdBm > bestDown {
+				bestDown = l.DownlinkRSSIdBm
+			}
+		}
+		gain := 0.0
+		if !cfg.DisablePowerControl {
+			gain = mac.NewPowerController().AssociateGainDB(bestDown)
+		}
+		n.gains[i] = gain
+		effSNR[i] = dev.APLinks[best].UplinkSNRdB + gain
+		n.oscs[i] = radio.NewBackscatterOscillator(n.rng, 20, 50)
+		if cfg.Fading {
+			n.faders[i] = radio.NewFadingProcess(10, 0.97, n.rng.Fork())
+		}
+	}
+
+	if cfg.PowerAwareAllocation {
+		alloc := mac.NewDataOnlyAllocator(book)
+		ids := make([]uint8, maxDevices)
+		for i := range ids {
+			ids[i] = uint8(i)
+		}
+		assign := alloc.AssignAll(ids, effSNR)
+		for i := range ids {
+			n.slots[i] = assign[uint8(i)]
+		}
+	} else {
+		perm := n.rng.Perm(book.Slots())
+		for i := 0; i < maxDevices; i++ {
+			n.slots[i] = perm[i]
+		}
+	}
+	n.initRoundCtx(maxDevices)
+	return n, nil
+}
+
+// initRoundCtx carves the reusable multi-AP round arena and builds the
+// per-device encoders and fan-out closures once. The per-AP effective
+// SNR slices are static after association (deployment geometry plus the
+// device's power setting), so RunRound only rewrites delays, offsets,
+// fades and the frame contents.
+func (n *MultiAPNetwork) initRoundCtx(maxDevices int) {
+	payloadBytes := n.cfg.PayloadBytes
+	payloadBits := payloadBytes*8 + core.CRCBits
+	frameSymbols := core.PreambleSymbols + payloadBits
+
+	rc := &n.rc
+	rc.txs = make([]air.MultiTransmission, maxDevices)
+	rc.shifts = make([]int, maxDevices)
+	rc.payloads = make([][]byte, maxDevices)
+	rc.bits = make([][]byte, maxDevices)
+	rc.payloadArena = make([]byte, maxDevices*payloadBytes)
+	rc.bitsArena = make([]byte, maxDevices*payloadBits)
+	rc.snrArena = make([]float64, maxDevices*n.nAPs)
+	length := n.mch.FrameLength(frameSymbols, 2)
+	rc.sigArena = make([]complex128, n.nAPs*length)
+	rc.sigs = make([][]complex128, n.nAPs)
+	for a := 0; a < n.nAPs; a++ {
+		rc.sigs[a] = rc.sigArena[a*length : (a+1)*length]
+	}
+	rc.res = make([]*core.FrameDecode, n.nAPs)
+	rc.sel = make([]int, maxDevices)
+	rc.perAP = make([]RoundStats, n.nAPs)
+	for i := 0; i < maxDevices; i++ {
+		rc.shifts[i] = n.book.ShiftOfSlot(n.slots[i])
+		n.encs[i] = core.NewEncoder(n.cfg.Params, rc.shifts[i])
+		rc.payloads[i] = rc.payloadArena[i*payloadBytes : (i+1)*payloadBytes]
+		rc.bits[i] = rc.bitsArena[i*payloadBits : (i+1)*payloadBits]
+		snrs := rc.snrArena[i*n.nAPs : (i+1)*n.nAPs]
+		for a := 0; a < n.nAPs; a++ {
+			snrs[a] = n.dep.Devices[i].APLinks[a].UplinkSNRdB + n.gains[i]
+		}
+		rc.txs[i].SNRdB = snrs
+		rc.txs[i].MixedTmpl = func(tmpl []complex128, frac, freqHz float64, gain complex128) []complex128 {
+			return n.encs[i].FrameBitsWaveformMixedTemplates(tmpl, n.rc.bits[i], frac, freqHz, gain)
+		}
+		rc.txs[i].MixedAddRange = func(out []complex128, lo, hi, at int, tmpl []complex128, frac, freqHz float64) {
+			n.encs[i].FrameBitsWaveformMixedAddRange(out, lo, hi, at, tmpl, n.rc.bits[i], frac, freqHz)
+		}
+	}
+}
+
+// Book exposes the code book.
+func (n *MultiAPNetwork) Book() *core.CodeBook { return n.book }
+
+// APs returns the infrastructure's AP count.
+func (n *MultiAPNetwork) APs() int { return n.nAPs }
+
+// RunRound executes one concurrent round heard by every AP and returns
+// the combined and per-AP statistics.
+func (n *MultiAPNetwork) RunRound(nDevices int) (MultiRoundStats, error) {
+	if nDevices > len(n.slots) {
+		return MultiRoundStats{}, fmt.Errorf("sim: round with %d devices, network has %d", nDevices, len(n.slots))
+	}
+	p := n.cfg.Params
+	payloadBits := n.cfg.PayloadBytes*8 + core.CRCBits
+
+	// Refill the round arena in place, drawing per device: payload
+	// bytes, fade, delay, oscillator — the single-AP order — with the
+	// per-(device, AP) carrier phases drawn later inside the channel.
+	rc := &n.rc
+	txs := rc.txs[:nDevices]
+	for i := 0; i < nDevices; i++ {
+		n.rng.FillBytes(rc.payloads[i])
+		core.FrameBitsInto(rc.bits[i], rc.payloads[i])
+		var fade complex128
+		if n.faders[i] != nil {
+			fade = n.faders[i].Step()
+		}
+		txs[i].DelaySec = n.cfg.DelayModel.Draw(n.rng) +
+			hw.PropagationDelaySec(n.bestDist[i])
+		txs[i].FreqOffsetHz = n.oscs[i].PacketOffsetHz(n.rng)
+		txs[i].FadeGain = fade
+	}
+
+	n.mch.ReceiveInto(rc.sigs, txs)
+	for a := 0; a < n.nAPs; a++ {
+		res, err := n.decoders[a].DecodeFrame(rc.sigs[a], 0, rc.shifts[:nDevices], payloadBits)
+		if err != nil {
+			return MultiRoundStats{}, err
+		}
+		rc.res[a] = res
+	}
+
+	base := RoundStats{
+		Devices:       nDevices,
+		ScheduledBits: nDevices * payloadBits,
+		RoundSecs:     n.cfg.Timing.NetScatterRoundSeconds(p, n.cfg.Query, n.cfg.PayloadBytes),
+		PayloadSec:    float64(payloadBits) * p.SymbolPeriod(),
+	}
+	for a := 0; a < n.nAPs; a++ {
+		st := &rc.perAP[a]
+		*st = base
+		for i := range rc.res[a].Devices {
+			tallyDevice(st, &rc.res[a].Devices[i], rc.bits[i], rc.payloads[i], payloadBits)
+		}
+	}
+
+	AggregateDecodes(rc.sel[:nDevices], rc.res)
+	combined := base
+	for i, a := range rc.sel[:nDevices] {
+		if a < 0 {
+			continue
+		}
+		tallyDevice(&combined, &rc.res[a].Devices[i], rc.bits[i], rc.payloads[i], payloadBits)
+	}
+	return MultiRoundStats{Combined: combined, PerAP: rc.perAP}, nil
+}
+
+// BestDecode returns the index of the AP whose decode of candidate dev
+// should represent it network-wide: CRC-valid decodes outrank
+// detected-only ones, stronger observed preamble power (MeanPeakPower,
+// the receiver's SNR proxy) breaks ties within a class, and the lower
+// AP index breaks exact power ties so the choice is deterministic.
+// Returns -1 when no AP detected the device. APs whose result is nil
+// or too short (an AP that decoded a smaller candidate set) contribute
+// nothing.
+func BestDecode(perAP []*core.FrameDecode, dev int) int {
+	best := -1
+	for a, res := range perAP {
+		if res == nil || dev >= len(res.Devices) {
+			continue
+		}
+		d := &res.Devices[dev]
+		if !d.Detected {
+			continue
+		}
+		if best < 0 {
+			best = a
+			continue
+		}
+		b := &perAP[best].Devices[dev]
+		if d.CRCOK != b.CRCOK {
+			if d.CRCOK {
+				best = a
+			}
+			continue
+		}
+		if d.MeanPeakPower > b.MeanPeakPower {
+			best = a
+		}
+	}
+	return best
+}
+
+// AggregateDecodes merges per-AP decodes of one candidate set: sel[i]
+// receives BestDecode(perAP, i) — the representing AP for candidate i,
+// -1 if nobody heard it. Every device decoded by at least one AP is
+// represented exactly once (no drops, no double counting; the fuzz
+// target pins both). Returns the number of represented devices.
+func AggregateDecodes(sel []int, perAP []*core.FrameDecode) int {
+	detected := 0
+	for i := range sel {
+		sel[i] = BestDecode(perAP, i)
+		if sel[i] >= 0 {
+			detected++
+		}
+	}
+	return detected
+}

@@ -67,6 +67,15 @@ type RoundStats struct {
 	PayloadSec    float64
 }
 
+// PER returns the packet error rate: the fraction of scheduled devices
+// whose frame did not arrive CRC-valid.
+func (r RoundStats) PER() float64 {
+	if r.Devices == 0 {
+		return 0
+	}
+	return 1 - float64(r.FramesOK)/float64(r.Devices)
+}
+
 // BER returns the payload bit error rate over detected devices.
 func (r RoundStats) BER() float64 {
 	if r.TotalBits == 0 {
@@ -136,41 +145,11 @@ func NewNetwork(cfg Config, dep *deploy.Deployment, maxDevices int, seed int64) 
 	if maxDevices > len(dep.Devices) {
 		return nil, fmt.Errorf("sim: %d devices requested, deployment has %d", maxDevices, len(dep.Devices))
 	}
-	// Spread devices over the whole spectrum when slots outnumber them:
-	// with 128 of 256 devices the effective spacing is SKIP=4, matching
-	// the paper's observation that under 128 devices "the devices are
-	// separated by more than 2 cyclic shifts" (§4.4).
-	skip := cfg.Skip
-	if maxDevices > 0 {
-		if s := cfg.Params.N() / maxDevices; s > skip {
-			skip = s
-		}
-	}
-	if max := cfg.Params.N() / 2; skip > max {
-		skip = max
-	}
-	book, err := core.NewCodeBook(cfg.Params, skip)
+	book, err := buildCodeBook(cfg, maxDevices)
 	if err != nil {
 		return nil, err
 	}
-	if maxDevices > book.Slots() {
-		return nil, fmt.Errorf("sim: %d devices exceed %d slots", maxDevices, book.Slots())
-	}
-	dcfg := core.DefaultDecoderConfig(skip)
-	if dcfg.GuardBins > 2 {
-		// Residual offsets never exceed ~2 bins (Fig. 14b); a wider
-		// search window would only admit neighbours.
-		dcfg.GuardBins = 2
-	}
-	if cfg.Decoder != nil {
-		dcfg = *cfg.Decoder
-	}
-	// The AP calibrates its noise floor on quiet intervals between
-	// rounds; in the normalized simulator that floor is exactly N per
-	// padded bin (unit noise over an N-sample window).
-	if dcfg.NoiseFloor == 0 {
-		dcfg.NoiseFloor = float64(cfg.Params.N())
-	}
+	dcfg := resolveDecoderConfig(cfg, book.Skip())
 	n := &Network{
 		cfg:     cfg,
 		dep:     dep,
@@ -222,6 +201,71 @@ func NewNetwork(cfg Config, dep *deploy.Deployment, maxDevices int, seed int64) 
 	}
 	n.initRoundCtx(maxDevices)
 	return n, nil
+}
+
+// buildCodeBook selects the effective cyclic-shift spacing for a
+// network of maxDevices and builds its code book. Devices are spread
+// over the whole spectrum when slots outnumber them: with 128 of 256
+// devices the effective spacing is SKIP=4, matching the paper's
+// observation that under 128 devices "the devices are separated by
+// more than 2 cyclic shifts" (§4.4).
+func buildCodeBook(cfg Config, maxDevices int) (*core.CodeBook, error) {
+	skip := cfg.Skip
+	if maxDevices > 0 {
+		if s := cfg.Params.N() / maxDevices; s > skip {
+			skip = s
+		}
+	}
+	if max := cfg.Params.N() / 2; skip > max {
+		skip = max
+	}
+	book, err := core.NewCodeBook(cfg.Params, skip)
+	if err != nil {
+		return nil, err
+	}
+	if maxDevices > book.Slots() {
+		return nil, fmt.Errorf("sim: %d devices exceed %d slots", maxDevices, book.Slots())
+	}
+	return book, nil
+}
+
+// resolveDecoderConfig applies the simulator's decoder defaults: a
+// guard window matched to the residual-offset regime and the
+// normalized noise floor the AP would calibrate on quiet intervals
+// (exactly N per padded bin — unit noise over an N-sample window).
+func resolveDecoderConfig(cfg Config, skip int) core.DecoderConfig {
+	dcfg := core.DefaultDecoderConfig(skip)
+	if dcfg.GuardBins > 2 {
+		// Residual offsets never exceed ~2 bins (Fig. 14b); a wider
+		// search window would only admit neighbours.
+		dcfg.GuardBins = 2
+	}
+	if cfg.Decoder != nil {
+		dcfg = *cfg.Decoder
+	}
+	if dcfg.NoiseFloor == 0 {
+		dcfg.NoiseFloor = float64(cfg.Params.N())
+	}
+	return dcfg
+}
+
+// tallyDevice folds one device's decode outcome into stats: detection,
+// payload bit errors against the transmitted bits, and frame validity
+// against the transmitted payload.
+func tallyDevice(stats *RoundStats, dev *core.DeviceDecode, wantBits []byte, wantPayload []byte, payloadBits int) {
+	if !dev.Detected {
+		return
+	}
+	stats.Detected++
+	stats.TotalBits += payloadBits
+	for j := range wantBits {
+		if dev.Bits[j] != wantBits[j] {
+			stats.BitErrors++
+		}
+	}
+	if dev.CRCOK && equalBytes(dev.Payload, wantPayload) {
+		stats.FramesOK++
+	}
 }
 
 // initRoundCtx carves the reusable round arena and builds the
@@ -319,21 +363,8 @@ func (n *Network) RunRound(nDevices int) (RoundStats, error) {
 		RoundSecs:     n.cfg.Timing.NetScatterRoundSeconds(p, n.cfg.Query, n.cfg.PayloadBytes),
 		PayloadSec:    float64(payloadBits) * p.SymbolPeriod(),
 	}
-	for i, dev := range res.Devices {
-		if !dev.Detected {
-			continue
-		}
-		stats.Detected++
-		stats.TotalBits += payloadBits
-		want := rc.bits[i]
-		for j := range want {
-			if dev.Bits[j] != want[j] {
-				stats.BitErrors++
-			}
-		}
-		if dev.CRCOK && equalBytes(dev.Payload, rc.payloads[i]) {
-			stats.FramesOK++
-		}
+	for i := range res.Devices {
+		tallyDevice(&stats, &res.Devices[i], rc.bits[i], rc.payloads[i], payloadBits)
 	}
 	return stats, nil
 }

@@ -5,10 +5,8 @@ import (
 	"sync"
 	"testing"
 
-	"netscatter/internal/deploy"
-	"netscatter/internal/dsp"
 	"netscatter/internal/pool"
-	"netscatter/internal/radio"
+	"netscatter/internal/simtest"
 )
 
 // TestConcurrentRunRoundRace drives several independent networks'
@@ -16,8 +14,7 @@ import (
 // synthesis and the decode pipeline across the shared pool — so `go
 // test -race` sweeps the whole parallel receive path for data races.
 func TestConcurrentRunRoundRace(t *testing.T) {
-	rng := dsp.NewRand(3)
-	dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, 16, 500e3, rng)
+	dep := simtest.Deployment(t, 16, 3)
 	cfg := DefaultConfig()
 	cfg.PayloadBytes = 2
 
@@ -70,8 +67,7 @@ func TestRunRoundBitIdenticalAcrossGOMAXPROCSRace(t *testing.T) {
 	run := func(procs int) ([][]complex128, []RoundStats) {
 		prev := runtime.GOMAXPROCS(procs)
 		defer runtime.GOMAXPROCS(prev)
-		rng := dsp.NewRand(17)
-		dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, nDev, 500e3, rng)
+		dep := simtest.Deployment(t, nDev, 17)
 		cfg := DefaultConfig()
 		cfg.PayloadBytes = 3
 		net, err := NewNetwork(cfg, dep, nDev, 99)
@@ -114,8 +110,7 @@ func TestRunRoundBitIdenticalAcrossGOMAXPROCSRace(t *testing.T) {
 // pool has one slot or many.
 func TestRunRoundDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	run := func() RoundStats {
-		rng := dsp.NewRand(17)
-		dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, 24, 500e3, rng)
+		dep := simtest.Deployment(t, 24, 17)
 		cfg := DefaultConfig()
 		cfg.PayloadBytes = 3
 		net, err := NewNetwork(cfg, dep, 24, 99)

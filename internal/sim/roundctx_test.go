@@ -11,18 +11,14 @@ import (
 	"sync"
 	"testing"
 
-	"netscatter/internal/chirp"
-	"netscatter/internal/deploy"
-	"netscatter/internal/dsp"
-	"netscatter/internal/radio"
+	"netscatter/internal/simtest"
 )
 
 func testNetwork(t testing.TB, nDev int, seed int64) *Network {
 	t.Helper()
-	rng := dsp.NewRand(seed)
-	dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, nDev, 500e3, rng)
+	dep := simtest.Deployment(t, nDev, seed)
 	cfg := DefaultConfig()
-	cfg.Params = chirp.Params{SF: 7, BW: 125e3, Oversample: 1}
+	cfg.Params = simtest.SmallParams()
 	cfg.PayloadBytes = 2
 	net, err := NewNetwork(cfg, dep, nDev, seed+1)
 	if err != nil {

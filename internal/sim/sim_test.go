@@ -8,13 +8,14 @@ import (
 	"netscatter/internal/core"
 	"netscatter/internal/deploy"
 	"netscatter/internal/dsp"
-	"netscatter/internal/radio"
+	"netscatter/internal/simtest"
 )
 
+// testDeployment delegates to the shared seed-pinned constructor; the
+// sim suites' pinned statistics ride on its seeds staying put.
 func testDeployment(t *testing.T, n int, seed int64) *deploy.Deployment {
 	t.Helper()
-	rng := dsp.NewRand(seed)
-	return deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, n, 500e3, rng)
+	return simtest.Deployment(t, n, seed)
 }
 
 func TestTimingPaperNumbers(t *testing.T) {

@@ -37,16 +37,20 @@ go test -count=1 -shuffle=on ./...
 
 echo "== fuzz seed corpus =="
 # Runs every Fuzz* target over its committed seeds (no exploration):
-# synthesizer phase continuity, cyclic-shift identity, decoder round-trip.
-go test -count=1 -run 'Fuzz' ./internal/synth ./internal/core
+# synthesizer phase continuity, cyclic-shift identity, decoder
+# round-trip, and the cross-AP aggregator's never-drop/never-double
+# invariants.
+go test -count=1 -run 'Fuzz' ./internal/synth ./internal/core ./internal/sim
 
 echo "== race: concurrent paths =="
 # The rewired sim round path, the batched parallel decoder (including
 # the batch-vs-oracle bit-exactness sweep), the tiled channel path
 # (template fan-out + tile workers, with the GOMAXPROCS ∈ {1,2,4}
-# bit-exactness sweeps) and the stream/noise kernels, all under the
-# race detector.
-go test -race -count=1 -run 'Concurrent|Parallel|Race|Mixed|Tiled|Stream' ./internal/sim ./internal/core ./internal/air ./internal/pool ./internal/dsp ./internal/radio
+# bit-exactness sweeps), the multi-AP fan-out (shared-template per-AP
+# scaling, (AP, tile) workers, per-AP decodes — with its own
+# GOMAXPROCS and single-AP-oracle sweeps) and the stream/noise
+# kernels, all under the race detector.
+go test -race -count=1 -run 'Concurrent|Parallel|Race|Mixed|Tiled|Stream|MultiAP|MultiChannel' ./internal/sim ./internal/core ./internal/air ./internal/pool ./internal/dsp ./internal/radio
 
 echo "== benchguard: perf trajectory =="
 scripts/benchguard.sh
