@@ -453,6 +453,41 @@ func BenchmarkMultiAPRound64x2(b *testing.B) {
 
 func BenchmarkMultiAPDiversity(b *testing.B) { benchExperiment(b, "M1") }
 
+// BenchmarkTrajectoryRound64 steps a 64-device, 2-AP adversarial
+// trajectory in its event-free steady state: correlated fading and CFO
+// drift evolve every round (per-device AR(1) and random-walk updates,
+// power-rule adjustment, SNR refresh) but no churn/burst/dropout
+// events fire, so no re-association or burst synthesis happens. The
+// ratio against MultiAPRound64x2 is the adversity layer's overhead on
+// top of a plain round — it must stay allocation-free.
+func BenchmarkTrajectoryRound64(b *testing.B) {
+	rng := dsp.NewRand(9)
+	dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, 64, 500e3, rng)
+	dep.PlaceAPs(2)
+	cfg := sim.DefaultConfig()
+	net, err := sim.NewMultiAPNetwork(cfg, dep, 2, 64, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := sim.NewTrajectory(net, sim.TrajectoryConfig{
+		Rounds:      1 << 15, // pre-size the stats arenas past any b.N
+		Seed:        9,
+		Correlation: 0.9,
+		KFactorDB:   20,
+		CFODriftHz:  0.5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkNetworkRound64Parallel is the same round with the worker
 // pool widened to four slots: the tiled channel path fans the transmit
 // half across tiles and the decoder fans symbol batches, with output

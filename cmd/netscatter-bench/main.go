@@ -375,6 +375,41 @@ func benchmarks() []namedBench {
 		},
 	})
 	bms = append(bms, namedBench{
+		// The 64-device, 2-AP round stepped through the adversity layer
+		// in its event-free steady state: correlated fading and CFO
+		// drift evolve per round, the power rule re-adjusts every
+		// device, but no churn/burst/dropout events fire. The delta
+		// against MultiAPRound64x2 is the trajectory layer's overhead.
+		name: "TrajectoryRound64",
+		fn: func(b *testing.B) {
+			r := dsp.NewRand(9)
+			dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, 64, 500e3, r)
+			dep.PlaceAPs(2)
+			cfg := sim.DefaultConfig()
+			net, err := sim.NewMultiAPNetwork(cfg, dep, 2, 64, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := sim.NewTrajectory(net, sim.TrajectoryConfig{
+				Rounds:      1 << 15,
+				Seed:        9,
+				Correlation: 0.9,
+				KFactorDB:   20,
+				CFODriftHz:  0.5,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+	bms = append(bms, namedBench{
 		// The tiled transmit path and batched decoder fan across a
 		// four-slot pool, bit-identical to the serial round
 		// (test-enforced). On a single hardware thread this records the

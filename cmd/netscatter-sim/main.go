@@ -32,8 +32,17 @@ func main() {
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		fading  = flag.Bool("fading", false, "enable channel fading")
 		aps     = flag.Int("aps", 1, "access points hearing the deployment (>1 enables cross-AP diversity decode)")
+		churn   = flag.Float64("churn", 0, "per-round device sleep probability (>0 runs an adversarial trajectory)")
+		doppler = flag.Float64("doppler", 0, "maximum Doppler shift [Hz] for correlated fading drift (>0 runs a trajectory)")
+		apDrop  = flag.Float64("ap-drop", 0, "per-round, per-AP dropout probability (>0 runs a trajectory)")
 	)
 	flag.Parse()
+
+	if *churn > 0 || *doppler > 0 || *apDrop > 0 {
+		runTrajectory(*devices, *rounds, *payload, *sf, *bw, *skip, *aps, *seed,
+			*churn, *doppler, *apDrop)
+		return
+	}
 
 	if *aps > 1 {
 		runMultiAP(*devices, *rounds, *payload, *sf, *bw, *skip, *aps, *seed, *fading)
@@ -134,6 +143,64 @@ func runMultiAP(devices, rounds, payload, sf int, bw float64, skip, aps int, see
 	fmt.Printf("\ntotal: combined %d/%d frames (%.1f%%), best-single-AP %d (%.1f%%)\n",
 		totalOK, totalTx, 100*float64(totalOK)/float64(totalTx),
 		totalBest, 100*float64(totalBest)/float64(totalTx))
+}
+
+// runTrajectory evolves the deployment through a time-varying
+// adversarial world — correlated fading drift at the given Doppler,
+// device duty-cycling, per-round AP dropout — and reports PER over
+// time plus the recovery pipeline's books (skips, re-associations,
+// recovery latency, loss attribution).
+func runTrajectory(devices, rounds, payload, sf int, bw float64, skip, aps int, seed int64, churn, doppler, apDrop float64) {
+	rng := dsp.NewRand(seed)
+	dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, devices, bw, rng)
+	dep.PlaceAPs(aps)
+
+	cfg := sim.DefaultConfig()
+	cfg.Params = chirp.Params{SF: sf, BW: bw, Oversample: 1}
+	cfg.Skip = skip
+	cfg.PayloadBytes = payload
+	net, err := sim.NewMultiAPNetwork(cfg, dep, aps, devices, seed+1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tr, err := sim.NewTrajectory(net, sim.TrajectoryConfig{
+		Rounds:     rounds,
+		Seed:       seed,
+		DopplerHz:  doppler,
+		SleepProb:  churn,
+		APDropProb: apDrop,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("NetScatter trajectory: %d devices, %d APs, %s SF=%d, %d rounds\n",
+		devices, aps, fmtBW(bw), sf, rounds)
+	fmt.Printf("adversity: doppler %.1f Hz, churn %.2f, AP dropout %.2f\n\n", doppler, churn, apDrop)
+
+	for r := 1; r <= rounds; r++ {
+		stats, err := tr.Step()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("round %2d: %3d active, %3d/%3d frames (PER %.3f)\n",
+			r, stats.Combined.Devices, stats.Combined.FramesOK,
+			stats.Combined.Devices, stats.Combined.PER())
+	}
+
+	s := tr.Stats()
+	fmt.Printf("\nmean PER %.3f over %d rounds (%d all-lost)\n", s.MeanPER(), s.Rounds, s.AllLostRounds)
+	fmt.Printf("churn: %d sleeps, %d wakes; power rule skipped %d device-rounds\n",
+		s.SleepEvents, s.WakeEvents, s.SkippedRounds)
+	fmt.Printf("recovery: %d AP-side losses, %d re-associations, mean latency %.1f rounds (p90 %.0f) over %d recoveries\n",
+		s.DevicesLostByAP, s.Reassociations, s.MeanRecoveryLatency(),
+		s.RecoveryLatencyQuantile(0.9), len(s.RecoveryLatencies))
+	fmt.Printf("losses: %d dropout, %d interference, %d fading, %d other; %d burst rounds, %d AP-down rounds\n",
+		s.LostToDropout, s.LostToInterference, s.LostToFading, s.LostToOther,
+		s.BurstRounds, s.APDownRounds)
 }
 
 func fmtBW(bw float64) string {

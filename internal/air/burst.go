@@ -1,0 +1,93 @@
+package air
+
+// Interference bursts: in-band transmitters that are not NetScatter
+// devices — a WiFi station (wideband noise-like) or a foreign LoRa
+// radio (a continuous upchirp train) — expressed through the same
+// template contract the device closures use, so a burst rides the
+// channel's shared-template fan-out, per-AP scaling and tiled
+// accumulation unchanged. A Burst's template is synthesized once per
+// event into a caller-owned buffer; tiling the template across the
+// burst window turns one symbol of synthesis into an arbitrarily long
+// interferer.
+
+import (
+	"netscatter/internal/chirp"
+	"netscatter/internal/dsp"
+)
+
+// Burst is one interference event inside a round: Template repeated
+// cyclically over the sample window [StartSample, StartSample +
+// DurSamples). Placement is carried here rather than in DelaySec —
+// install the Burst's closures on a transmission with DelaySec = 0;
+// the closures ignore the channel-computed placement, fractional delay
+// and frequency offset (an interferer has no device oscillator; bake
+// any offset into the template).
+type Burst struct {
+	// Template holds the burst's base waveform at unit mean power. Its
+	// length must not exceed the channel's per-transmission template
+	// slot (two symbol periods, 2·N samples).
+	Template []complex128
+	// StartSample is the burst's first sample in the receive buffer.
+	StartSample int
+	// DurSamples is the burst length in samples.
+	DurSamples int
+}
+
+// MixedTmpl implements the template-synthesis closure: the burst's
+// per-AP template is just the base template scaled by the carrier gain.
+func (b *Burst) MixedTmpl(tmpl []complex128, _, _ float64, gain complex128) []complex128 {
+	return ScaleTemplate(tmpl, b.Template, gain)
+}
+
+// AddRange implements the tiled accumulation closure: add the cyclic
+// template over the burst window clipped to [lo, hi). The tile workers
+// call this concurrently for disjoint [lo, hi) ranges; the method only
+// writes inside its clip, so the burst is bit-identical at any
+// GOMAXPROCS like every other transmission.
+func (b *Burst) AddRange(out []complex128, lo, hi, _ int, tmpl []complex128, _, _ float64) {
+	n := len(tmpl)
+	if n == 0 || b.DurSamples <= 0 {
+		return
+	}
+	start := b.StartSample
+	if end := start + b.DurSamples; hi > end {
+		hi = end
+	}
+	if lo < start {
+		lo = start
+	}
+	for j := lo; j < hi; j++ {
+		out[j] += tmpl[(j-start)%n]
+	}
+}
+
+// Tx wraps the burst as a multi-AP transmission with the given per-AP
+// received SNRs. The closures capture the Burst pointer, so a caller
+// may build the transmission once and retarget the same Burst (new
+// template contents, window, SNRs) each event without reallocating.
+func (b *Burst) Tx(snrPerAP []float64) MultiTransmission {
+	return MultiTransmission{
+		MixedTmpl:     b.MixedTmpl,
+		MixedAddRange: b.AddRange,
+		SNRdB:         snrPerAP,
+	}
+}
+
+// NoiseBurstTemplate fills dst with unit-power circularly symmetric
+// complex Gaussian samples from st — the wideband, WiFi-shaped
+// interferer (an OFDM signal at these bandwidths is statistically
+// Gaussian).
+func NoiseBurstTemplate(dst []complex128, st *dsp.Stream) {
+	for i := range dst {
+		dst[i] = st.NormComplex(1)
+	}
+}
+
+// ChirpBurstTemplate writes one upchirp symbol of m at the given cyclic
+// shift into dst (grown from its capacity) and returns it. Tiled over a
+// burst window this is a foreign LoRa transmitter's continuous chirp
+// train — the worst-shaped interferer for a CSS receiver, since its
+// energy dechirps into a coherent bin instead of spreading.
+func ChirpBurstTemplate(dst []complex128, m *chirp.Modulator, shift int) []complex128 {
+	return m.AppendSymbol(dst[:0], shift)
+}

@@ -200,6 +200,58 @@ func (d *Deployment) PlaceAPs(k int) []Point {
 	return d.APs
 }
 
+// RelinkDevice recomputes device i's link budgets from its current
+// position: distance, wall count, downlink RSSI and uplink SNR to the
+// floor plan's central AP, and — when APs have been placed — every
+// entry of APLinks, in place. This is the mobility path's re-derivation
+// step: a trajectory that moves a device calls this so path loss and
+// wall counts track the new position exactly as Generate/PlaceAPs would
+// have computed them there (same formulas, no randomness).
+func (d *Deployment) RelinkDevice(i int) {
+	bw := d.BWHz
+	if bw == 0 {
+		bw = 500e3
+	}
+	dev := &d.Devices[i]
+	dist := dev.Pos.Distance(d.Plan.AP)
+	walls := d.Plan.WallsBetween(dev.Pos, d.Plan.AP)
+	dev.Walls = walls
+	dev.DownlinkRSSIdBm = d.Budget.DownlinkRSSIdBm(dist, walls)
+	dev.UplinkSNRdB = d.Budget.UplinkSNRdB(dist, walls, 0, bw)
+	for a, ap := range d.APs {
+		dist := dev.Pos.Distance(ap)
+		walls := d.Plan.WallsBetween(dev.Pos, ap)
+		dev.APLinks[a] = APLink{
+			Dist:            dist,
+			Walls:           walls,
+			DownlinkRSSIdBm: d.Budget.DownlinkRSSIdBm(dist, walls),
+			UplinkSNRdB:     d.Budget.UplinkSNRdB(dist, walls, 0, bw),
+		}
+	}
+}
+
+// MoveDevice offsets device i by (dx, dy), clamps the result to the
+// floor's placeable band (0.5 m margin, as Generate uses), and relinks
+// it. Mobility may carry a device inside MinAPDistance of an AP; the
+// link budget's AGC cap bounds the received SNR there, so the clamp is
+// purely geometric.
+func (d *Deployment) MoveDevice(i int, dx, dy float64) {
+	dev := &d.Devices[i]
+	dev.Pos.X = clamp(dev.Pos.X+dx, 0.5, d.Plan.Width-0.5)
+	dev.Pos.Y = clamp(dev.Pos.Y+dy, 0.5, d.Plan.Height-0.5)
+	d.RelinkDevice(i)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
 // BestSNRs returns each device's best-AP uplink SNR (the diversity
 // network's effective per-device strength). Requires PlaceAPs.
 func (d *Deployment) BestSNRs() []float64 {

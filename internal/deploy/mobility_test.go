@@ -1,0 +1,64 @@
+package deploy
+
+import (
+	"testing"
+
+	"netscatter/internal/dsp"
+	"netscatter/internal/radio"
+)
+
+// TestRelinkDeviceMatchesGenerate: relinking a device at its current
+// position must reproduce exactly the budgets Generate and PlaceAPs
+// computed there — the relink is the same pure function of position.
+func TestRelinkDeviceMatchesGenerate(t *testing.T) {
+	d := Generate(DefaultOffice, radio.DefaultLinkBudget, 32, 500e3, dsp.NewRand(3))
+	d.PlaceAPs(2)
+	for i := range d.Devices {
+		want := d.Devices[i]
+		wantLinks := append([]APLink(nil), want.APLinks...)
+		d.RelinkDevice(i)
+		got := d.Devices[i]
+		if got.Walls != want.Walls || got.DownlinkRSSIdBm != want.DownlinkRSSIdBm ||
+			got.UplinkSNRdB != want.UplinkSNRdB {
+			t.Fatalf("device %d: relink changed central-AP budget: %+v vs %+v", i, got, want)
+		}
+		for a := range wantLinks {
+			if got.APLinks[a] != wantLinks[a] {
+				t.Fatalf("device %d AP %d: relink changed link: %+v vs %+v",
+					i, a, got.APLinks[a], wantLinks[a])
+			}
+		}
+	}
+}
+
+// TestMoveDeviceRederives: moving a device across a room boundary
+// changes its wall count and budgets coherently, and the clamp keeps it
+// inside the floor's placeable band.
+func TestMoveDeviceRederives(t *testing.T) {
+	d := Generate(DefaultOffice, radio.DefaultLinkBudget, 1, 500e3, dsp.NewRand(1))
+	d.PlaceAPs(1)
+
+	// Park the device at a known spot, then walk it toward a far corner:
+	// distance to the center AP grows, so the downlink must weaken.
+	d.Devices[0].Pos = Point{X: 10, Y: 10}
+	d.RelinkDevice(0)
+	before := d.Devices[0]
+
+	d.MoveDevice(0, -100, -100) // clamps to (0.5, 0.5)
+	after := d.Devices[0]
+	if after.Pos.X != 0.5 || after.Pos.Y != 0.5 {
+		t.Fatalf("clamp failed: pos %+v", after.Pos)
+	}
+	if after.DownlinkRSSIdBm >= before.DownlinkRSSIdBm {
+		t.Fatalf("downlink did not weaken moving away: %v -> %v",
+			before.DownlinkRSSIdBm, after.DownlinkRSSIdBm)
+	}
+	if after.Walls <= before.Walls {
+		t.Fatalf("corner position crosses more walls: %d -> %d", before.Walls, after.Walls)
+	}
+	if after.APLinks[0].DownlinkRSSIdBm != after.DownlinkRSSIdBm {
+		// k=1 placement is the central AP; both views must agree.
+		t.Fatalf("central and APLinks budgets diverge: %v vs %v",
+			after.DownlinkRSSIdBm, after.APLinks[0].DownlinkRSSIdBm)
+	}
+}

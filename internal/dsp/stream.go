@@ -195,6 +195,25 @@ func (st *Stream) normSlow(u uint64) float64 {
 	}
 }
 
+// NormComplex returns a circularly symmetric complex Gaussian draw with
+// total variance sigma2 — the stream engine's analogue of
+// Rand.ComplexNormal (real part drawn first, then imaginary, each with
+// variance sigma2/2). This is the draw the trajectory layer's evolved
+// channel state (correlated fading innovations) is built on.
+func (st *Stream) NormComplex(sigma2 float64) complex128 {
+	s := math.Sqrt(sigma2 / 2)
+	re := st.NormFloat64() * s
+	im := st.NormFloat64() * s
+	return complex(re, im)
+}
+
+// UniformPhase returns e^{jθ} with θ uniform over [0, 2π) — a unit
+// complex number with uniformly random phase.
+func (st *Stream) UniformPhase() complex128 {
+	theta := st.Float64() * 2 * math.Pi
+	return complex(math.Cos(theta), math.Sin(theta))
+}
+
 // NormBatch fills dst with standard normal draws — the same sequence
 // len(dst) successive NormFloat64 calls would produce (test-enforced),
 // with the generator and ziggurat fast path inlined into one planar

@@ -36,7 +36,7 @@ func cell(t *testing.T, tab Table, row, col int) float64 {
 func TestRegistryComplete(t *testing.T) {
 	// One experiment per paper artifact listed in DESIGN.md.
 	want := []string{"T1", "C1", "F4", "F7", "F8", "F9", "F12", "F14A", "F14B",
-		"F15A", "F15B", "F16", "F17", "F18", "F19", "S1", "B1", "M1"}
+		"F15A", "F15B", "F16", "F17", "F18", "F19", "S1", "B1", "M1", "R1", "R2"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %s missing", id)
@@ -180,6 +180,51 @@ func TestMultiAPDiversityShape(t *testing.T) {
 	for _, row := range tab.Rows[:2] {
 		if comb, best := mustF(t, row[2]), mustF(t, row[3]); comb != best {
 			t.Fatalf("k=1 combined PER %v != single-AP PER %v", comb, best)
+		}
+	}
+}
+
+func TestTrajectoryDopplerShape(t *testing.T) {
+	res := runByID(t, "R1")
+	tab := res.Tables[0]
+	if len(tab.Rows) != 2 { // quick: doppler {0, 5}
+		t.Fatalf("R1 rows = %d", len(tab.Rows))
+	}
+	// Doppler 0 is the oracle row: no evolved fading, so nothing can be
+	// attributed to it and the effective rho must read 0.
+	if rho := mustF(t, tab.Rows[0][1]); rho != 0 {
+		t.Fatalf("doppler-0 effective rho = %v, want 0", rho)
+	}
+	if lost := mustF(t, tab.Rows[0][4]); lost != 0 {
+		t.Fatalf("doppler-0 row lost %v frames to fading", lost)
+	}
+	// The moving-channel row must carry a correlated (rho > 0) process.
+	if rho := mustF(t, tab.Rows[1][1]); rho <= 0 || rho >= 1 {
+		t.Fatalf("doppler-5 effective rho = %v", rho)
+	}
+	for _, row := range tab.Rows {
+		if per := mustF(t, row[3]); per < 0 || per > 1 {
+			t.Fatalf("mean PER %v out of range (row %v)", per, row)
+		}
+	}
+}
+
+func TestTrajectoryChurnShape(t *testing.T) {
+	res := runByID(t, "R2")
+	tab := res.Tables[0]
+	if len(tab.Rows) != 2 { // quick: k ∈ {1,2} × churn {0.2}
+		t.Fatalf("R2 rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if per := mustF(t, row[2]); per < 0 || per > 1 {
+			t.Fatalf("mean PER %v out of range (row %v)", per, row)
+		}
+		// Heavy churn must exercise the loss/re-association pipeline.
+		if lost := mustF(t, row[3]); lost == 0 {
+			t.Fatalf("no AP-side losses under churn (row %v)", row)
+		}
+		if re := mustF(t, row[4]); re == 0 {
+			t.Fatalf("no re-associations under churn (row %v)", row)
 		}
 	}
 }

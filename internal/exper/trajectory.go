@@ -1,0 +1,201 @@
+package exper
+
+import (
+	"fmt"
+
+	"netscatter/internal/chirp"
+	"netscatter/internal/deploy"
+	"netscatter/internal/dsp"
+	"netscatter/internal/pool"
+	"netscatter/internal/radio"
+	"netscatter/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "R1",
+		Title: "Robustness: PER vs Doppler and oscillator drift over a trajectory",
+		Ref:   "ROADMAP time-varying channels; §3.2.3 power rule under drift",
+		Run:   runTrajectoryDoppler,
+	})
+	register(Experiment{
+		ID:    "R2",
+		Title: "Robustness: recovery latency vs device churn at k APs",
+		Ref:   "ROADMAP time-varying channels; §3.3.4 re-association",
+		Run:   runTrajectoryChurn,
+	})
+}
+
+// trajectorySimConfig is the shared substrate for the robustness axes:
+// a mid-size code book keeps multi-round sweeps cheap while leaving the
+// near-far machinery intact.
+func trajectorySimConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Params = chirp.Params{SF: 8, BW: 500e3, Oversample: 1}
+	cfg.PayloadBytes = 2
+	return cfg
+}
+
+// runTrajectoryDoppler sweeps fading coherence (via the Jakes model at
+// the round period) and oscillator random-walk drift on a single-AP
+// deployment: each point evolves one fleet over a multi-round
+// trajectory and reports PER over time, losses attributed to fading,
+// and how often the power rule benched a device. This is the axis the
+// paper's static-channel evaluation leaves open: how fast the channel
+// may move before the reciprocity proxy goes stale.
+func runTrajectoryDoppler(cfg Config) (*Result, error) {
+	type point struct{ dopplerHz, driftHz float64 }
+	points := []point{{0, 0}, {2, 0}, {5, 0}, {10, 0}, {5, 2}}
+	nDev, rounds := 32, 10
+	if cfg.Quick {
+		points = []point{{0, 0}, {5, 0}}
+		nDev, rounds = 16, 5
+	}
+
+	scfg := trajectorySimConfig()
+	period := scfg.Timing.NetScatterRoundSeconds(scfg.Params, scfg.Query, scfg.PayloadBytes)
+
+	type unitOut struct {
+		stats sim.TrajectoryStats
+		err   error
+	}
+	outs := make([]unitOut, len(points))
+	pool.ForEach(len(outs), func(u int) {
+		rng := dsp.NewRand(cfg.Seed)
+		dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, nDev, scfg.Params.BW, rng)
+		dep.PlaceAPs(1)
+		net, err := sim.NewMultiAPNetwork(scfg, dep, 1, nDev, cfg.Seed+int64(u))
+		if err != nil {
+			outs[u].err = err
+			return
+		}
+		tr, err := sim.NewTrajectory(net, sim.TrajectoryConfig{
+			Rounds:     rounds,
+			Seed:       cfg.Seed*100 + int64(u),
+			DopplerHz:  points[u].dopplerHz,
+			CFODriftHz: points[u].driftHz,
+		})
+		if err != nil {
+			outs[u].err = err
+			return
+		}
+		if _, err := tr.Run(); err != nil {
+			outs[u].err = err
+			return
+		}
+		outs[u].stats = *tr.Stats()
+	})
+
+	res := &Result{ID: "R1", Title: "PER vs Doppler / drift over a trajectory"}
+	tab := Table{
+		Name:    fmt.Sprintf("%d devices, %d rounds, 1 AP", nDev, rounds),
+		Columns: []string{"doppler Hz", "rho", "drift Hz/rnd", "mean PER", "lost fading", "skipped", "reassocs"},
+	}
+	for u, pt := range points {
+		if outs[u].err != nil {
+			return nil, outs[u].err
+		}
+		// Effective per-round correlation the trajectory ran with:
+		// doppler 0 disables evolved fading entirely (the oracle), so the
+		// static-channel rho = 1 never applies.
+		rho := 0.0
+		if pt.dopplerHz > 0 {
+			rho = radio.JakesCorrelation(pt.dopplerHz, period)
+		}
+		s := outs[u].stats
+		tab.Rows = append(tab.Rows, []string{
+			f(pt.dopplerHz),
+			fmt.Sprintf("%.3f", rho),
+			f(pt.driftHz),
+			fmt.Sprintf("%.3f", s.MeanPER()),
+			fmt.Sprintf("%d", s.LostToFading),
+			fmt.Sprintf("%d", s.SkippedRounds),
+			fmt.Sprintf("%d", s.Reassociations),
+		})
+	}
+	res.Tables = append(res.Tables, tab)
+	res.Notes = append(res.Notes,
+		"rho = J0(2π·fD·T_round): the AR(1) per-round fading correlation at this round period",
+		"doppler 0 is the retained oracle: the trajectory is bit-identical to independent rounds")
+	return res, nil
+}
+
+// runTrajectoryChurn sweeps device duty-cycling rates at k ∈ {1, 2, 4}
+// APs and reports the recovery pipeline's throughput: AP-side
+// timeouts, completed re-associations, and the latency distribution
+// from outage to the next CRC-valid frame. Densifying the
+// infrastructure does not shorten the protocol's recovery path (that
+// is handshake-bound), but it keeps PER down while devices churn.
+func runTrajectoryChurn(cfg Config) (*Result, error) {
+	ks := []int{1, 2, 4}
+	churns := []float64{0.05, 0.15, 0.3}
+	nDev, rounds := 24, 14
+	if cfg.Quick {
+		// Long enough for full sleep → timeout → wake → re-associate
+		// cycles to complete at heavy churn.
+		ks = []int{1, 2}
+		churns = []float64{0.3}
+		nDev, rounds = 12, 12
+	}
+
+	scfg := trajectorySimConfig()
+
+	type unitOut struct {
+		stats sim.TrajectoryStats
+		err   error
+	}
+	outs := make([]unitOut, len(ks)*len(churns))
+	pool.ForEach(len(outs), func(u int) {
+		k := ks[u/len(churns)]
+		churn := churns[u%len(churns)]
+		rng := dsp.NewRand(cfg.Seed)
+		dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, nDev, scfg.Params.BW, rng)
+		dep.PlaceAPs(k)
+		net, err := sim.NewMultiAPNetwork(scfg, dep, k, nDev, cfg.Seed+int64(u))
+		if err != nil {
+			outs[u].err = err
+			return
+		}
+		tr, err := sim.NewTrajectory(net, sim.TrajectoryConfig{
+			Rounds:    rounds,
+			Seed:      cfg.Seed*100 + int64(u),
+			SleepProb: churn,
+			WakeProb:  0.5,
+		})
+		if err != nil {
+			outs[u].err = err
+			return
+		}
+		if _, err := tr.Run(); err != nil {
+			outs[u].err = err
+			return
+		}
+		outs[u].stats = *tr.Stats()
+	})
+
+	res := &Result{ID: "R2", Title: "Recovery latency vs churn at k APs"}
+	tab := Table{
+		Name:    fmt.Sprintf("%d devices, %d rounds, wake prob 0.5", nDev, rounds),
+		Columns: []string{"APs", "sleep prob", "mean PER", "lost byAP", "reassocs", "mean rec rnds", "p90 rec rnds"},
+	}
+	for u := range outs {
+		if outs[u].err != nil {
+			return nil, outs[u].err
+		}
+		s := outs[u].stats
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", ks[u/len(churns)]),
+			f(churns[u%len(churns)]),
+			fmt.Sprintf("%.3f", s.MeanPER()),
+			fmt.Sprintf("%d", s.DevicesLostByAP),
+			fmt.Sprintf("%d", s.Reassociations),
+			fmt.Sprintf("%.1f", s.MeanRecoveryLatency()),
+			fmt.Sprintf("%.0f", s.RecoveryLatencyQuantile(0.9)),
+		})
+	}
+	res.Tables = append(res.Tables, tab)
+	res.Notes = append(res.Notes,
+		"recovery latency counts rounds from the outage event (sleep/skip/loss) to the next CRC-valid frame",
+		"sleepers keep stale power state; the AP frees their slot after its silence budget")
+	return res, nil
+}

@@ -1,6 +1,7 @@
 package mac
 
 import (
+	"fmt"
 	"sort"
 
 	"netscatter/internal/core"
@@ -171,6 +172,32 @@ func (a *Allocator) Insert(id uint8, snr float64) (slot int, needShuffle bool, o
 	a.snrOf[id] = snr
 	a.slotOf[id] = bestSlot
 	return bestSlot, false, true
+}
+
+// Adopt records an existing (id, slot, snr) assignment made out of
+// band — the warm-start path for an AP taking over a deployment whose
+// slots were assigned at association time by a bulk AssignAll. It
+// fails when the slot is reserved or taken, or the id already holds a
+// slot; it performs no fit heuristics (the assignment already exists
+// in the air, adopting it differently would desynchronize AP and
+// device).
+func (a *Allocator) Adopt(id uint8, slot int, snr float64) error {
+	if slot < 0 || slot >= a.book.Slots() {
+		return fmt.Errorf("mac: adopt slot %d outside book (%d slots)", slot, a.book.Slots())
+	}
+	if a.reserved[slot] {
+		return fmt.Errorf("mac: adopt of reserved slot %d", slot)
+	}
+	if other, taken := a.bySlot[slot]; taken {
+		return fmt.Errorf("mac: adopt slot %d already held by device %d", slot, other)
+	}
+	if s, ok := a.slotOf[id]; ok {
+		return fmt.Errorf("mac: device %d already holds slot %d", id, s)
+	}
+	a.bySlot[slot] = id
+	a.snrOf[id] = snr
+	a.slotOf[id] = slot
+	return nil
 }
 
 // Remove releases a device's slot (e.g. when it re-associates).

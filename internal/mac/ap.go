@@ -31,9 +31,16 @@ type AP struct {
 
 // NewAP builds an AP over a code book.
 func NewAP(book *core.CodeBook) *AP {
+	return NewAPWith(book, NewAllocator(book))
+}
+
+// NewAPWith builds an AP over a caller-supplied allocator — e.g. the
+// data-only allocator measurement deployments use, where every slot
+// carries data and association happened before the measured rounds.
+func NewAPWith(book *core.CodeBook, alloc *Allocator) *AP {
 	return &AP{
 		book:    book,
-		alloc:   NewAllocator(book),
+		alloc:   alloc,
 		records: map[uint8]*DeviceRecord{},
 	}
 }
@@ -132,6 +139,30 @@ func (ap *AP) OnAssociationRequest(snrDB float64) (*Assignment, error) {
 	ap.records[id] = &DeviceRecord{NetworkID: id, Slot: slot, SNRdB: snrDB}
 	ap.pending = &Assignment{NetworkID: id, Slot: uint8(slot)}
 	return ap.pending, nil
+}
+
+// AdoptAssignment warm-starts the AP's protocol state with an existing
+// (id, slot, snr) assignment made out of band: the simulator's
+// networks assign every device's slot in one association-time bulk
+// AssignAll, and a trajectory runner that wants the AP's dynamic
+// machinery (OnDeviceLost, re-association) afterwards must seed the
+// AP's records and allocator with exactly those slots — going through
+// OnAssociationRequest would assign different ones and desynchronize
+// the AP from the waveforms already on the air. The record starts
+// Acked (the device is already transmitting data). nextID is advanced
+// past id so later dynamic associations never reissue an adopted ID.
+func (ap *AP) AdoptAssignment(id uint8, slot int, snrDB float64) error {
+	if _, exists := ap.records[id]; exists {
+		return fmt.Errorf("mac: device %d already associated", id)
+	}
+	if err := ap.alloc.Adopt(id, slot, snrDB); err != nil {
+		return err
+	}
+	ap.records[id] = &DeviceRecord{NetworkID: id, Slot: slot, SNRdB: snrDB, Acked: true}
+	if id >= ap.nextID {
+		ap.nextID = id + 1
+	}
+	return nil
 }
 
 // OnAssociationAck marks the pending device as fully associated.

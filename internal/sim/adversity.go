@@ -1,0 +1,123 @@
+package sim
+
+// Deterministic adversity scheduling: every fault-injection decision a
+// trajectory makes — who sleeps, when interference fires, which APs
+// drop — is a pure function of (trajectory seed, axis, index) through
+// dsp.StreamAt, never of the network's round RNG. Two consequences the
+// tests and fuzz target pin: a multi-round trajectory is
+// bit-reproducible from its seed alone (the same plans re-derive
+// identically), and adversity state never perturbs the round path's
+// own draw sequence — turning every fault off leaves RunRound's
+// randomness untouched (the correlation-0 oracle).
+//
+// Key derivation: stream index = axis<<56 | idx, where idx is the
+// device index for per-device axes (fade, CFO, mobility, churn) and
+// the round number for per-round axes (burst, dropout). The axis tag
+// lives in the top byte so device and round indices can never collide
+// across axes. See DESIGN-trajectory.md.
+
+import (
+	"netscatter/internal/deploy"
+	"netscatter/internal/dsp"
+)
+
+const (
+	axisFade uint64 = 1 + iota
+	axisCFO
+	axisMobility
+	axisChurn
+	axisBurst
+	axisBurstWave
+	axisDropout
+)
+
+// adversityStream derives the stream for one (axis, index) pair of a
+// trajectory seed.
+func adversityStream(seed int64, axis, idx uint64) dsp.Stream {
+	return dsp.StreamAt(seed, axis<<56|idx)
+}
+
+// churnStep advances one device's duty-cycle state by one round,
+// drawing exactly one uniform variate regardless of state: asleep
+// devices wake with probability wakeProb, awake devices sleep with
+// probability sleepProb. Returns the new asleep state.
+func churnStep(st *dsp.Stream, asleep bool, sleepProb, wakeProb float64) bool {
+	u := st.Float64()
+	if asleep {
+		return u >= wakeProb
+	}
+	return u < sleepProb
+}
+
+// deviceActive is the single predicate deciding whether a device
+// transmits this round: it must be awake, not mid-re-association, and
+// its power controller must have elected to participate. The fuzz
+// target pins the structural invariant that an asleep device can never
+// be active.
+func deviceActive(asleep bool, reassocLeft int, participate bool) bool {
+	return !asleep && reassocLeft == 0 && participate
+}
+
+// burstPlan is one round's interference decision.
+type burstPlan struct {
+	present bool
+	// chirpKind selects the LoRa-shaped upchirp-train interferer;
+	// otherwise the burst is wideband complex-Gaussian (WiFi-shaped).
+	chirpKind bool
+	// shift is the chirp interferer's cyclic shift in [0, symbolSamples).
+	shift int
+	// start, dur delimit the burst window in samples:
+	// 0 ≤ start, start+dur ≤ roundSamples (fuzz-enforced).
+	start, dur int
+	// pos is the interferer's position on the floor (drives per-AP
+	// received strengths through the path-loss model).
+	pos deploy.Point
+}
+
+// planBurst draws round `round`'s interference plan: with probability
+// prob a burst of 1..maxSymbols symbol periods at a uniform start
+// inside the round's sample window, from a transmitter placed
+// uniformly on the floor. Pure in (seed, round) — re-deriving the plan
+// returns identical values.
+func planBurst(seed int64, round uint64, prob float64, roundSamples, symbolSamples, maxSymbols int, w, h float64) burstPlan {
+	var b burstPlan
+	if prob <= 0 || roundSamples <= 0 || symbolSamples <= 0 || maxSymbols <= 0 {
+		return b
+	}
+	st := adversityStream(seed, axisBurst, round)
+	if st.Float64() >= prob {
+		return b
+	}
+	b.present = true
+	b.chirpKind = st.Uint64()&1 == 0
+	b.shift = int(st.Uint64() % uint64(symbolSamples))
+	b.dur = (1 + int(st.Uint64()%uint64(maxSymbols))) * symbolSamples
+	if b.dur > roundSamples {
+		b.dur = roundSamples
+	}
+	b.start = int(st.Uint64() % uint64(roundSamples-b.dur+1))
+	b.pos = deploy.Point{X: st.Float64() * w, Y: st.Float64() * h}
+	return b
+}
+
+// planDropout fills alive with round `round`'s AP liveness mask (each
+// AP independently dead with probability prob) and returns the number
+// of surviving APs. Pure in (seed, round); a zero probability leaves
+// every AP alive without drawing.
+func planDropout(seed int64, round uint64, prob float64, alive []bool) int {
+	if prob <= 0 {
+		for a := range alive {
+			alive[a] = true
+		}
+		return len(alive)
+	}
+	st := adversityStream(seed, axisDropout, round)
+	n := 0
+	for a := range alive {
+		alive[a] = st.Float64() >= prob
+		if alive[a] {
+			n++
+		}
+	}
+	return n
+}

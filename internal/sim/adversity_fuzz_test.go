@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+)
+
+// FuzzAdversityScheduler pins the structural invariants of the
+// deterministic fault scheduler under arbitrary seeds and knobs:
+//   - a planned burst always lies inside the round's sample window
+//     (0 ≤ start, start+dur ≤ roundSamples, dur > 0) with a chirp shift
+//     inside the symbol and an interferer on the floor;
+//   - dropout masks are internally consistent (the returned survivor
+//     count equals the mask's population) and never double-count;
+//   - every plan re-derives bit-identically from (seed, round) — the
+//     property trajectory resume/reproducibility rests on;
+//   - a device asleep this round can never transmit, whatever its
+//     other state (churn gating is absolute).
+func FuzzAdversityScheduler(f *testing.F) {
+	f.Add(int64(1), uint64(0), 0.5, 4096, 64, 16, uint8(3), 0.3, 0.3)
+	f.Add(int64(-7), uint64(1000), 1.0, 1, 1, 1, uint8(1), 1.0, 0.0)
+	f.Add(int64(42), uint64(3), 0.01, 1<<20, 512, 64, uint8(8), 0.0, 1.0)
+	f.Add(int64(0), uint64(0), 0.0, 0, 0, 0, uint8(0), 0.5, 0.5)
+	f.Fuzz(func(t *testing.T, seed int64, round uint64, prob float64,
+		roundSamples, symbolSamples, maxSymbols int, nAPs uint8,
+		sleepProb, wakeProb float64) {
+
+		// Keep the window arithmetic in a sane range; the planner's own
+		// guards handle non-positive sizes.
+		if roundSamples > 1<<24 {
+			roundSamples %= 1 << 24
+		}
+		if symbolSamples > 1<<16 {
+			symbolSamples %= 1 << 16
+		}
+		if maxSymbols > 1<<10 {
+			maxSymbols %= 1 << 10
+		}
+		const w, h = 40.0, 20.0
+
+		b := planBurst(seed, round, prob, roundSamples, symbolSamples, maxSymbols, w, h)
+		if b.present {
+			if b.dur <= 0 || b.start < 0 || b.start+b.dur > roundSamples {
+				t.Fatalf("burst window [%d, %d) escapes round of %d samples",
+					b.start, b.start+b.dur, roundSamples)
+			}
+			if b.shift < 0 || b.shift >= symbolSamples {
+				t.Fatalf("chirp shift %d outside symbol of %d", b.shift, symbolSamples)
+			}
+			if b.pos.X < 0 || b.pos.X > w || b.pos.Y < 0 || b.pos.Y > h {
+				t.Fatalf("interferer at %+v off the %vx%v floor", b.pos, w, h)
+			}
+		}
+		if again := planBurst(seed, round, prob, roundSamples, symbolSamples, maxSymbols, w, h); again != b {
+			t.Fatalf("burst plan not reproducible: %+v vs %+v", b, again)
+		}
+
+		alive := make([]bool, int(nAPs))
+		n := planDropout(seed, round, prob, alive)
+		count := 0
+		for _, a := range alive {
+			if a {
+				count++
+			}
+		}
+		if n != count {
+			t.Fatalf("planDropout returned %d survivors, mask holds %d", n, count)
+		}
+		alive2 := make([]bool, int(nAPs))
+		n2 := planDropout(seed, round, prob, alive2)
+		for a := range alive {
+			if alive[a] != alive2[a] || n != n2 {
+				t.Fatal("dropout mask not reproducible")
+			}
+		}
+
+		// Churn: replaying the stream replays the decisions, one draw per
+		// round; asleep devices can never be active.
+		st := adversityStream(seed, axisChurn, round)
+		st2 := st
+		asleep := false
+		for r := 0; r < 16; r++ {
+			asleep = churnStep(&st, asleep, sleepProb, wakeProb)
+			if asleep && deviceActive(asleep, 0, true) {
+				t.Fatal("asleep device reported active")
+			}
+		}
+		replay := false
+		for r := 0; r < 16; r++ {
+			replay = churnStep(&st2, replay, sleepProb, wakeProb)
+		}
+		if replay != asleep {
+			t.Fatal("churn trajectory not reproducible")
+		}
+	})
+}

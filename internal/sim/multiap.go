@@ -83,6 +83,14 @@ type multiRoundCtx struct {
 	res   []*core.FrameDecode
 	sel   []int
 	perAP []RoundStats
+
+	// Adversity support: saved copies of the per-device fan-out
+	// closures (restored after a round that silenced devices) and the
+	// scratch transmission list used when a round carries interference
+	// bursts on top of the device fleet.
+	tmplFns  []func(tmpl []complex128, frac, freqHz float64, gain complex128) []complex128
+	rangeFns []func(out []complex128, lo, hi, at int, tmpl []complex128, frac, freqHz float64)
+	chTxs    []air.MultiTransmission
 }
 
 // NewMultiAPNetwork associates the first maxDevices of a deployment
@@ -204,6 +212,9 @@ func (n *MultiAPNetwork) initRoundCtx(maxDevices int) {
 	rc.res = make([]*core.FrameDecode, n.nAPs)
 	rc.sel = make([]int, maxDevices)
 	rc.perAP = make([]RoundStats, n.nAPs)
+	rc.tmplFns = make([]func(tmpl []complex128, frac, freqHz float64, gain complex128) []complex128, maxDevices)
+	rc.rangeFns = make([]func(out []complex128, lo, hi, at int, tmpl []complex128, frac, freqHz float64), maxDevices)
+	rc.chTxs = make([]air.MultiTransmission, 0, maxDevices+maxBurstsPerRound)
 	for i := 0; i < maxDevices; i++ {
 		rc.shifts[i] = n.book.ShiftOfSlot(n.slots[i])
 		n.encs[i] = core.NewEncoder(n.cfg.Params, rc.shifts[i])
@@ -220,7 +231,20 @@ func (n *MultiAPNetwork) initRoundCtx(maxDevices int) {
 		rc.txs[i].MixedAddRange = func(out []complex128, lo, hi, at int, tmpl []complex128, frac, freqHz float64) {
 			n.encs[i].FrameBitsWaveformMixedAddRange(out, lo, hi, at, tmpl, n.rc.bits[i], frac, freqHz)
 		}
+		rc.tmplFns[i] = rc.txs[i].MixedTmpl
+		rc.rangeFns[i] = rc.txs[i].MixedAddRange
 	}
+}
+
+// setSlot re-points device i at a new slot: slot table, decode
+// candidate shift and a fresh encoder. The fan-out closures look
+// n.encs[i] up per call, so they pick the replacement up on the next
+// round — this is how a trajectory applies a re-association's new
+// assignment.
+func (n *MultiAPNetwork) setSlot(i, slot int) {
+	n.slots[i] = slot
+	n.rc.shifts[i] = n.book.ShiftOfSlot(slot)
+	n.encs[i] = core.NewEncoder(n.cfg.Params, n.rc.shifts[i])
 }
 
 // Book exposes the code book.
@@ -232,6 +256,47 @@ func (n *MultiAPNetwork) APs() int { return n.nAPs }
 // RunRound executes one concurrent round heard by every AP and returns
 // the combined and per-AP statistics.
 func (n *MultiAPNetwork) RunRound(nDevices int) (MultiRoundStats, error) {
+	return n.runRound(nDevices, nil)
+}
+
+// advRound is one round's fault-injection state, filled by a
+// Trajectory before each runRound call. A nil advRound — or one whose
+// masks are all-permissive and whose overlays are zero — leaves the
+// round path exactly as RunRound has always run it: every per-device
+// draw below happens in the same order regardless of adversity, so an
+// all-off trajectory is bit-identical to plain RunRound calls (the
+// retained oracle) and a churn event on device i never perturbs the
+// draws of device j.
+type advRound struct {
+	// active[i] false silences device i this round (asleep, skipping, or
+	// mid-re-association): its closures are detached so the channel adds
+	// no samples and draws no carrier phases for it, and it is excluded
+	// from the scheduled-device statistics. nil means all active.
+	active []bool
+	// fade[i], when nonzero, multiplies onto device i's channel gain —
+	// the trajectory's evolved correlated fade.
+	fade []complex128
+	// cfoHz[i] adds onto device i's oscillator offset — the trajectory's
+	// CFO random-walk drift.
+	cfoHz []float64
+	// extra carries interference-burst transmissions appended after the
+	// device fleet (so device carrier-phase draws are unperturbed).
+	extra []air.MultiTransmission
+	// apAlive[a] false drops AP a this round: its buffer still fills
+	// (the channel's draw sequence is AP-count-shaped, not mask-shaped)
+	// but it decodes nothing and contributes nothing to aggregation.
+	// nil means all alive.
+	apAlive []bool
+}
+
+// maxBurstsPerRound bounds the interference transmissions a single
+// round may carry (the burst scheduler draws at most one event per
+// round; the chTxs arena is sized for it).
+const maxBurstsPerRound = 1
+
+// runRound executes one round with optional fault injection. With adv
+// == nil this is exactly the historical RunRound path.
+func (n *MultiAPNetwork) runRound(nDevices int, adv *advRound) (MultiRoundStats, error) {
 	if nDevices > len(n.slots) {
 		return MultiRoundStats{}, fmt.Errorf("sim: round with %d devices, network has %d", nDevices, len(n.slots))
 	}
@@ -241,6 +306,8 @@ func (n *MultiAPNetwork) RunRound(nDevices int) (MultiRoundStats, error) {
 	// Refill the round arena in place, drawing per device: payload
 	// bytes, fade, delay, oscillator — the single-AP order — with the
 	// per-(device, AP) carrier phases drawn later inside the channel.
+	// Silenced devices still consume their draws (payload, fade, delay,
+	// offset) so adversity never shifts another device's randomness.
 	rc := &n.rc
 	txs := rc.txs[:nDevices]
 	for i := 0; i < nDevices; i++ {
@@ -256,8 +323,54 @@ func (n *MultiAPNetwork) RunRound(nDevices int) (MultiRoundStats, error) {
 		txs[i].FadeGain = fade
 	}
 
-	n.mch.ReceiveInto(rc.sigs, txs)
+	scheduled := nDevices
+	silenced := false
+	if adv != nil {
+		for i := 0; i < nDevices; i++ {
+			if adv.active != nil && !adv.active[i] {
+				// Detach the closures: a non-contributing transmission
+				// adds no samples and draws no carrier phases.
+				txs[i].MixedTmpl, txs[i].MixedAddRange = nil, nil
+				silenced = true
+				scheduled--
+				continue
+			}
+			if adv.fade != nil && adv.fade[i] != 0 {
+				if txs[i].FadeGain == 0 {
+					txs[i].FadeGain = adv.fade[i]
+				} else {
+					txs[i].FadeGain *= adv.fade[i]
+				}
+			}
+			if adv.cfoHz != nil {
+				txs[i].FreqOffsetHz += adv.cfoHz[i]
+			}
+		}
+	}
+
+	chTxs := txs
+	if adv != nil && len(adv.extra) > 0 {
+		// Bursts ride after the fleet so per-(device, AP) phase draws
+		// stay in fleet order; the burst's own phases draw last.
+		rc.chTxs = append(rc.chTxs[:0], txs...)
+		rc.chTxs = append(rc.chTxs, adv.extra...)
+		chTxs = rc.chTxs
+	}
+	n.mch.ReceiveInto(rc.sigs, chTxs)
+	if silenced {
+		for i := 0; i < nDevices; i++ {
+			if !adv.active[i] {
+				txs[i].MixedTmpl = rc.tmplFns[i]
+				txs[i].MixedAddRange = rc.rangeFns[i]
+			}
+		}
+	}
+
 	for a := 0; a < n.nAPs; a++ {
+		if adv != nil && adv.apAlive != nil && !adv.apAlive[a] {
+			rc.res[a] = nil // a dead AP contributes nothing
+			continue
+		}
 		res, err := n.decoders[a].DecodeFrame(rc.sigs[a], 0, rc.shifts[:nDevices], payloadBits)
 		if err != nil {
 			return MultiRoundStats{}, err
@@ -266,23 +379,34 @@ func (n *MultiAPNetwork) RunRound(nDevices int) (MultiRoundStats, error) {
 	}
 
 	base := RoundStats{
-		Devices:       nDevices,
-		ScheduledBits: nDevices * payloadBits,
+		Devices:       scheduled,
+		ScheduledBits: scheduled * payloadBits,
 		RoundSecs:     n.cfg.Timing.NetScatterRoundSeconds(p, n.cfg.Query, n.cfg.PayloadBytes),
 		PayloadSec:    float64(payloadBits) * p.SymbolPeriod(),
 	}
 	for a := 0; a < n.nAPs; a++ {
 		st := &rc.perAP[a]
 		*st = base
+		if rc.res[a] == nil {
+			continue
+		}
 		for i := range rc.res[a].Devices {
+			if adv != nil && adv.active != nil && !adv.active[i] {
+				continue // spurious detection of a silent device
+			}
 			tallyDevice(st, &rc.res[a].Devices[i], rc.bits[i], rc.payloads[i], payloadBits)
 		}
 	}
 
+	// With every AP dead all res entries are nil, every sel lands at -1,
+	// and the combined stats stay at base — a well-formed all-lost round.
 	AggregateDecodes(rc.sel[:nDevices], rc.res)
 	combined := base
 	for i, a := range rc.sel[:nDevices] {
 		if a < 0 {
+			continue
+		}
+		if adv != nil && adv.active != nil && !adv.active[i] {
 			continue
 		}
 		tallyDevice(&combined, &rc.res[a].Devices[i], rc.bits[i], rc.payloads[i], payloadBits)

@@ -48,9 +48,11 @@ echo "== race: concurrent paths =="
 # (template fan-out + tile workers, with the GOMAXPROCS ∈ {1,2,4}
 # bit-exactness sweeps), the multi-AP fan-out (shared-template per-AP
 # scaling, (AP, tile) workers, per-AP decodes — with its own
-# GOMAXPROCS and single-AP-oracle sweeps) and the stream/noise
-# kernels, all under the race detector.
-go test -race -count=1 -run 'Concurrent|Parallel|Race|Mixed|Tiled|Stream|MultiAP|MultiChannel' ./internal/sim ./internal/core ./internal/air ./internal/pool ./internal/dsp ./internal/radio
+# GOMAXPROCS and single-AP-oracle sweeps), the adversarial trajectory
+# runner (oracle bit-identity, churn/dropout recovery accounting, the
+# full-adversity GOMAXPROCS sweep) and the stream/noise kernels, all
+# under the race detector.
+go test -race -count=1 -run 'Concurrent|Parallel|Race|Mixed|Tiled|Stream|MultiAP|MultiChannel|Trajectory|Churn|Dropout' ./internal/sim ./internal/core ./internal/air ./internal/pool ./internal/dsp ./internal/radio
 
 echo "== benchguard: perf trajectory =="
 scripts/benchguard.sh
