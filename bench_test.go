@@ -453,6 +453,31 @@ func BenchmarkMultiAPRound64x2(b *testing.B) {
 
 func BenchmarkMultiAPDiversity(b *testing.B) { benchExperiment(b, "M1") }
 
+// BenchmarkCombinedRound64x4 runs the 64-device round heard by four
+// APs with soft spectral combining on: four emit decodes filling the
+// planar spectra arenas, the bin-wise arena sum, the combined-spectra
+// decode and both aggregations. The ratio against MultiAPRound64x2 is
+// the soft path's overhead; steady state stays allocation-free
+// (test-enforced in internal/sim).
+func BenchmarkCombinedRound64x4(b *testing.B) {
+	rng := dsp.NewRand(9)
+	dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, 64, 500e3, rng)
+	dep.PlaceAPs(4)
+	cfg := sim.DefaultConfig()
+	net, err := sim.NewMultiAPNetwork(cfg, dep, 4, 64, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.SetSoftCombining(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.RunRound(64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTrajectoryRound64 steps a 64-device, 2-AP adversarial
 // trajectory in its event-free steady state: correlated fading and CFO
 // drift evolve every round (per-device AR(1) and random-walk updates,

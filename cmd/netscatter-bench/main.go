@@ -375,6 +375,32 @@ func benchmarks() []namedBench {
 		},
 	})
 	bms = append(bms, namedBench{
+		// The 64-device round heard by four APs with soft spectral
+		// combining on: four emit decodes filling the planar spectra
+		// arenas, the bin-wise arena sum, the combined-spectra decode
+		// and both aggregations. The ratio against MultiAPRound64x2 is
+		// the soft path's overhead.
+		name: "CombinedRound64x4",
+		fn: func(b *testing.B) {
+			r := dsp.NewRand(9)
+			dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, 64, 500e3, r)
+			dep.PlaceAPs(4)
+			cfg := sim.DefaultConfig()
+			net, err := sim.NewMultiAPNetwork(cfg, dep, 4, 64, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			net.SetSoftCombining(true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := net.RunRound(64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+	bms = append(bms, namedBench{
 		// The 64-device, 2-AP round stepped through the adversity layer
 		// in its event-free steady state: correlated fading and CFO
 		// drift evolve per round, the power rule re-adjusts every

@@ -35,17 +35,24 @@ func main() {
 		churn   = flag.Float64("churn", 0, "per-round device sleep probability (>0 runs an adversarial trajectory)")
 		doppler = flag.Float64("doppler", 0, "maximum Doppler shift [Hz] for correlated fading drift (>0 runs a trajectory)")
 		apDrop  = flag.Float64("ap-drop", 0, "per-round, per-AP dropout probability (>0 runs a trajectory)")
+		soft    = flag.Bool("soft", false, "soft cross-AP combining: sum per-AP power spectra and decode the combined arena")
+		optAPs  = flag.Bool("opt-placement", false, "optimize AP placement for the generated fleet instead of the fixed line")
 	)
 	flag.Parse()
 
+	if err := validateFlags(*devices, *rounds, *payload, *aps); err != nil {
+		fmt.Fprintln(os.Stderr, "netscatter-sim:", err)
+		os.Exit(2)
+	}
+
 	if *churn > 0 || *doppler > 0 || *apDrop > 0 {
 		runTrajectory(*devices, *rounds, *payload, *sf, *bw, *skip, *aps, *seed,
-			*churn, *doppler, *apDrop)
+			*churn, *doppler, *apDrop, *optAPs)
 		return
 	}
 
-	if *aps > 1 {
-		runMultiAP(*devices, *rounds, *payload, *sf, *bw, *skip, *aps, *seed, *fading)
+	if *aps > 1 || *soft || *optAPs {
+		runMultiAP(*devices, *rounds, *payload, *sf, *bw, *skip, *aps, *seed, *fading, *soft, *optAPs)
 		return
 	}
 
@@ -92,13 +99,42 @@ func main() {
 		totalOK, totalTx, 100*float64(totalOK)/float64(totalTx))
 }
 
+// validateFlags rejects nonsensical count flags up front with a clear
+// message instead of letting them surface as opaque failures (or silent
+// no-op runs, as -rounds 0 used to) deeper in the stack.
+func validateFlags(devices, rounds, payload, aps int) error {
+	switch {
+	case devices < 1:
+		return fmt.Errorf("-devices must be at least 1 (got %d)", devices)
+	case rounds < 1:
+		return fmt.Errorf("-rounds must be at least 1 (got %d)", rounds)
+	case payload < 1:
+		return fmt.Errorf("-payload must be at least 1 byte (got %d)", payload)
+	case aps < 1:
+		return fmt.Errorf("-aps must be at least 1 (got %d)", aps)
+	}
+	return nil
+}
+
+// placeAPs applies the chosen placement strategy: the fixed line, or
+// the greedy combined-PER optimizer tuned to the generated fleet.
+func placeAPs(dep *deploy.Deployment, aps int, optimize bool) {
+	if optimize {
+		dep.PlaceAPsOptimized(aps)
+	} else {
+		dep.PlaceAPs(aps)
+	}
+}
+
 // runMultiAP drives the k-AP diversity network: every round is decoded
 // by each AP independently, then combined by the cross-AP aggregator
-// (CRC-preferring best-SNR selection, one count per device).
-func runMultiAP(devices, rounds, payload, sf int, bw float64, skip, aps int, seed int64, fading bool) {
+// (CRC-preferring best-SNR selection, one count per device). With
+// -soft, the per-AP power spectra are additionally summed bin-wise and
+// the combined arena decoded as a virtual extra AP.
+func runMultiAP(devices, rounds, payload, sf int, bw float64, skip, aps int, seed int64, fading, soft, optAPs bool) {
 	rng := dsp.NewRand(seed)
 	dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, devices, bw, rng)
-	dep.PlaceAPs(aps)
+	placeAPs(dep, aps, optAPs)
 
 	cfg := sim.DefaultConfig()
 	cfg.Params = chirp.Params{SF: sf, BW: bw, Oversample: 1}
@@ -110,13 +146,18 @@ func runMultiAP(devices, rounds, payload, sf int, bw float64, skip, aps int, see
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	net.SetSoftCombining(soft)
 
-	fmt.Printf("NetScatter multi-AP network: %d devices, %d APs, %s SF=%d SKIP>=%d\n",
-		devices, aps, fmtBW(bw), sf, skip)
+	placement := "line"
+	if optAPs {
+		placement = "optimized"
+	}
+	fmt.Printf("NetScatter multi-AP network: %d devices, %d APs (%s placement), %s SF=%d SKIP>=%d\n",
+		devices, aps, placement, fmtBW(bw), sf, skip)
 	fmt.Printf("best-AP SNR spread %.1f dB (single-AP deployment: %.1f dB)\n\n",
 		dep.BestSNRSpreadDB(), dep.SNRSpreadDB())
 
-	totalOK, totalTx, totalBest := 0, 0, 0
+	totalOK, totalTx, totalBest, totalSoft := 0, 0, 0, 0
 	for r := 1; r <= rounds; r++ {
 		stats, err := net.RunRound(devices)
 		if err != nil {
@@ -135,6 +176,11 @@ func runMultiAP(devices, rounds, payload, sf int, bw float64, skip, aps int, see
 		fmt.Printf("round %d: combined %3d/%3d frames (PER %.3f), best single AP %3d, diversity +%d\n",
 			r, stats.Combined.FramesOK, devices, stats.Combined.PER(),
 			best, stats.DiversityFramesGained())
+		if soft {
+			totalSoft += stats.Soft.FramesOK
+			fmt.Printf("         soft: %3d/%3d frames (PER %.3f), spectral combining +%d\n",
+				stats.Soft.FramesOK, devices, stats.Soft.PER(), stats.SoftFramesGained())
+		}
 		for a, s := range stats.PerAP {
 			fmt.Printf("         AP %d: %3d/%3d frames, %d detected, BER %.4f\n",
 				a, s.FramesOK, devices, s.Detected, s.BER())
@@ -143,6 +189,10 @@ func runMultiAP(devices, rounds, payload, sf int, bw float64, skip, aps int, see
 	fmt.Printf("\ntotal: combined %d/%d frames (%.1f%%), best-single-AP %d (%.1f%%)\n",
 		totalOK, totalTx, 100*float64(totalOK)/float64(totalTx),
 		totalBest, 100*float64(totalBest)/float64(totalTx))
+	if soft {
+		fmt.Printf("soft combining: %d/%d frames (%.1f%%), +%d over selection\n",
+			totalSoft, totalTx, 100*float64(totalSoft)/float64(totalTx), totalSoft-totalOK)
+	}
 }
 
 // runTrajectory evolves the deployment through a time-varying
@@ -150,10 +200,10 @@ func runMultiAP(devices, rounds, payload, sf int, bw float64, skip, aps int, see
 // device duty-cycling, per-round AP dropout — and reports PER over
 // time plus the recovery pipeline's books (skips, re-associations,
 // recovery latency, loss attribution).
-func runTrajectory(devices, rounds, payload, sf int, bw float64, skip, aps int, seed int64, churn, doppler, apDrop float64) {
+func runTrajectory(devices, rounds, payload, sf int, bw float64, skip, aps int, seed int64, churn, doppler, apDrop float64, optAPs bool) {
 	rng := dsp.NewRand(seed)
 	dep := deploy.Generate(deploy.DefaultOffice, radio.DefaultLinkBudget, devices, bw, rng)
-	dep.PlaceAPs(aps)
+	placeAPs(dep, aps, optAPs)
 
 	cfg := sim.DefaultConfig()
 	cfg.Params = chirp.Params{SF: sf, BW: bw, Oversample: 1}

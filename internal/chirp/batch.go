@@ -145,6 +145,44 @@ func (d *Demodulator) ScanBatch(sig []complex128, start, firstSym, nSyms int, ce
 	}
 }
 
+// ScanBatchEmit is ScanBatch with the power spectra kept: besides the
+// fused dechirp+FFT+window scan, the power spectrum of symbol column
+// col = firstSym+lo+s is materialized into
+// emit[col·PaddedBins() : (col+1)·PaddedBins()] through the same
+// dsp.PowerSpectrumPlanar kernel SpectraBatchInto uses, so the emitted
+// rows are bit-identical to the spectra the fused kernel would
+// otherwise discard. The scan output in out is untouched relative to
+// ScanBatch; emitting is a pure by-product. The soft cross-AP combiner
+// sums emitted arenas across APs before one combined decode.
+func (d *Demodulator) ScanBatchEmit(sig []complex128, start, firstSym, nSyms int, centers []int, half int, out []float64, stride int, emit []float64) {
+	n := d.p.N()
+	padN := len(d.padBuf)
+	if start < 0 || start+(firstSym+nSyms)*n > len(sig) {
+		panic(fmt.Sprintf("chirp: ScanBatchEmit window [%d, %d) outside signal of %d samples",
+			start+firstSym*n, start+(firstSym+nSyms)*n, len(sig)))
+	}
+	if len(emit) < (firstSym+nSyms)*padN {
+		panic(fmt.Sprintf("chirp: ScanBatchEmit emit length %d, want at least %d", len(emit), (firstSym+nSyms)*padN))
+	}
+	d.growBatch(min(nSyms, batchTile))
+	for lo := 0; lo < nSyms; lo += batchTile {
+		count := min(batchTile, nSyms-lo)
+		d.dechirpTile(sig, start, firstSym+lo, count)
+		for s := 0; s < count; s++ {
+			re := d.batchRe[s*padN : (s+1)*padN]
+			im := d.batchIm[s*padN : (s+1)*padN]
+			col := firstSym + lo + s
+			dsp.PowerSpectrumPlanar(emit[col*padN:(col+1)*padN], re, im)
+			for i, c := range centers {
+				if c < 0 {
+					continue
+				}
+				out[i*stride+col] = planarWindowPower(re, im, c, half)
+			}
+		}
+	}
+}
+
 // planarWindowPower returns the maximum |X[k]|² in the circular window
 // [center-half, center+half] of the planar spectrum (re, im). Window
 // powers use the exact PowerSpectrum expression and the exact windowMax

@@ -157,6 +157,11 @@ type Decoder struct {
 	// fixed order, bit-identical to the serial path.
 	noisePerSym [PreambleUpSymbols]float64
 
+	// emitSpec holds per-preamble-symbol views into a caller's emitted
+	// spectra arena (DecodeFrameEmit / DecodeFrameSpectra); a fixed-size
+	// array of reslices so repointing it each call allocates nothing.
+	emitSpec [PreambleUpSymbols][]float64
+
 	// result arenas, reused across calls
 	res     FrameDecode
 	devices []DeviceDecode
@@ -271,6 +276,117 @@ func (d *Decoder) DecodeFrameOracle(sig []complex128, start int, shifts []int, p
 	return &d.res, nil
 }
 
+// EmitRows returns the number of spectra rows an emitted-spectra arena
+// holds for a frame of payloadBits payload symbols: the six preamble
+// upchirps plus one row per payload symbol. The two preamble downchirps
+// carry no decode information and are skipped, exactly as DecodeFrame
+// skips them.
+func EmitRows(payloadBits int) int { return PreambleUpSymbols + payloadBits }
+
+// EmitLen returns the float64 length of an emitted-spectra arena for a
+// frame of payloadBits payload symbols: EmitRows rows of PaddedBins()
+// bins each, row r of symbol r at [r·PaddedBins(), (r+1)·PaddedBins()).
+func (d *Decoder) EmitLen(payloadBits int) int {
+	return EmitRows(payloadBits) * d.dem.PaddedBins()
+}
+
+// DecodeFrameEmit is DecodeFrame that additionally materializes every
+// decode-relevant power spectrum into emit (layout per EmitLen): the
+// six preamble upchirp spectra followed by one row per payload symbol.
+// The decode outcome is bit-identical to DecodeFrame — the preamble
+// rows are the exact arena SpectraBatch fills, and the payload scan
+// runs through chirp.ScanBatchEmit, whose scan output is untouched by
+// the emission. The emitted rows are what the soft cross-AP combiner
+// sums across APs before a single DecodeFrameSpectra pass.
+func (d *Decoder) DecodeFrameEmit(sig []complex128, start int, shifts []int, payloadBits int, emit []float64) (*FrameDecode, error) {
+	if err := d.begin(sig, start, shifts, payloadBits); err != nil {
+		return nil, err
+	}
+	if len(emit) < d.EmitLen(payloadBits) {
+		return nil, fmt.Errorf("core: emit arena length %d, want at least %d", len(emit), d.EmitLen(payloadBits))
+	}
+	n := d.book.Params().N()
+	bins := d.dem.PaddedBins()
+
+	// Pass 1: preamble upchirp spectra batched straight into the emit
+	// arena's leading rows (instead of the demodulator's private arena).
+	d.dem.SpectraBatchInto(emit[:PreambleUpSymbols*bins], sig, start, PreambleUpSymbols)
+	for sym := range d.emitSpec {
+		d.emitSpec[sym] = emit[sym*bins : (sym+1)*bins]
+		if d.cfg.NoiseFloor > 0 {
+			d.noisePerSym[sym] = d.cfg.NoiseFloor
+		} else {
+			d.noisePerSym[sym], d.quantBuf = noiseQuantile(d.quantBuf, d.emitSpec[sym])
+		}
+	}
+	noise := d.reduceNoise()
+	d.accumPreamble(d.emitSpec[:], shifts, noise)
+
+	// Pass 2: fused payload scan, with each symbol's power spectrum
+	// emitted into its arena row on the way through.
+	d.preparePayload(payloadBits)
+	payloadStart := start + PreambleSymbols*n
+	d.dem.ScanBatchEmit(sig, payloadStart, 0, payloadBits, d.payCenter, d.trackHalf(), d.powers, payloadBits, emit[PreambleUpSymbols*bins:])
+
+	d.finish(noise, payloadBits)
+	d.rejectGhosts(d.devices)
+	return &d.res, nil
+}
+
+// DecodeFrameSpectra decodes a frame from materialized power-spectrum
+// rows instead of a signal — the soft (non-coherent) cross-AP combining
+// entry point. spectra follows the DecodeFrameEmit layout for
+// payloadBits (see EmitLen); typically it is the bin-wise sum of
+// nSummed per-AP emitted arenas. A calibrated NoiseFloor is scaled by
+// nSummed, since summing k APs' spectra sums their independent noise
+// powers; the quantile fallback estimates from the summed rows
+// directly.
+//
+// With nSummed = 1 and one AP's emitted arena, the result is
+// bit-identical to DecodeFrame on that AP's signal (up to the FFTs
+// count, reported as 0 here because this pass performs none): the rows
+// are the exact spectra DecodeFrame scans, and windowMax over a
+// materialized row is bit-identical to the fused planar scan
+// (chirp.planarWindowPower's contract). The test suite enforces this
+// k=1 degeneracy.
+func (d *Decoder) DecodeFrameSpectra(spectra []float64, nSummed int, shifts []int, payloadBits int) (*FrameDecode, error) {
+	if nSummed < 1 {
+		return nil, fmt.Errorf("core: DecodeFrameSpectra nSummed %d, want >= 1", nSummed)
+	}
+	if len(spectra) < d.EmitLen(payloadBits) {
+		return nil, fmt.Errorf("core: spectra arena length %d, want at least %d", len(spectra), d.EmitLen(payloadBits))
+	}
+	bins := d.dem.PaddedBins()
+	d.beginFrame(0, shifts, payloadBits, 0)
+
+	for sym := range d.emitSpec {
+		d.emitSpec[sym] = spectra[sym*bins : (sym+1)*bins]
+		if d.cfg.NoiseFloor > 0 {
+			d.noisePerSym[sym] = d.cfg.NoiseFloor * float64(nSummed)
+		} else {
+			d.noisePerSym[sym], d.quantBuf = noiseQuantile(d.quantBuf, d.emitSpec[sym])
+		}
+	}
+	noise := d.reduceNoise()
+	d.accumPreamble(d.emitSpec[:], shifts, noise)
+
+	d.preparePayload(payloadBits)
+	halfIdx := d.trackHalf()
+	for sym := 0; sym < payloadBits; sym++ {
+		row := spectra[(PreambleUpSymbols+sym)*bins : (PreambleUpSymbols+sym+1)*bins]
+		chirp.ScanPaddedCenters(row, d.payCenter, halfIdx, d.scanPow)
+		for i := range shifts {
+			if d.payCenter[i] >= 0 {
+				d.powers[i*payloadBits+sym] = d.scanPow[i]
+			}
+		}
+	}
+
+	d.finish(noise, payloadBits)
+	d.rejectGhosts(d.devices)
+	return &d.res, nil
+}
+
 // begin validates the request and prepares (grows, resets) every arena
 // for a frame of len(shifts) candidates and payloadBits payload symbols.
 func (d *Decoder) begin(sig []complex128, start int, shifts []int, payloadBits int) error {
@@ -279,6 +395,16 @@ func (d *Decoder) begin(sig []complex128, start int, shifts []int, payloadBits i
 	if start < 0 || start+total > len(sig) {
 		return fmt.Errorf("core: frame [%d, %d) outside signal of %d samples", start, start+total, len(sig))
 	}
+	d.beginFrame(start, shifts, payloadBits, PreambleUpSymbols+payloadBits)
+	return nil
+}
+
+// beginFrame is begin without the signal-bounds check — the shared
+// arena setup for both the signal-driven and spectra-driven decode
+// entry points. ffts is the FFT count recorded in the result: one per
+// dechirped symbol on the signal paths, zero on the spectra path
+// (which reuses transforms its inputs already paid for).
+func (d *Decoder) beginFrame(start int, shifts []int, payloadBits, ffts int) {
 	d.grow(len(shifts), payloadBits)
 	for i, s := range shifts {
 		d.devices[i] = DeviceDecode{Shift: s}
@@ -291,9 +417,8 @@ func (d *Decoder) begin(sig []complex128, start int, shifts []int, payloadBits i
 		Devices: d.devices,
 		// One dechirped FFT per preamble upchirp and per payload symbol,
 		// independent of the candidate count (§3.1).
-		FFTs: PreambleUpSymbols + payloadBits,
+		FFTs: ffts,
 	}
-	return nil
 }
 
 // accumPreamble folds the preamble spectra into per-candidate peak

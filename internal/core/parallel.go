@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"netscatter/internal/chirp"
 	"netscatter/internal/pool"
 )
@@ -45,6 +47,13 @@ type ParallelDecoder struct {
 	curSig                                  []complex128
 	curStart                                int
 	curPayStart, curHalfIdx, curPayloadBits int
+
+	// curPre is the arena phase-1 workers write preamble spectra into:
+	// preArena normally, the caller's emit arena on DecodeFrameEmit.
+	// curEmitPay, non-nil only during DecodeFrameEmit, is the payload
+	// section of the emit arena for phase-2 ScanBatchEmit calls.
+	curPre     []float64
+	curEmitPay []float64
 }
 
 // decodeWorker is one worker's private state: a demodulator (FFT and
@@ -97,7 +106,7 @@ func (pd *ParallelDecoder) preBatch(w, batch int) {
 	hi := min(PreambleUpSymbols, lo+preBatchSymbols)
 	wk := pd.worker(w)
 	bins := wk.dem.PaddedBins()
-	wk.dem.SpectraBatchInto(pd.preArena[lo*bins:hi*bins], pd.curSig, pd.curStart+lo*n, hi-lo)
+	wk.dem.SpectraBatchInto(pd.curPre[lo*bins:hi*bins], pd.curSig, pd.curStart+lo*n, hi-lo)
 	for sym := lo; sym < hi; sym++ {
 		if d.cfg.NoiseFloor > 0 {
 			d.noisePerSym[sym] = d.cfg.NoiseFloor
@@ -117,6 +126,10 @@ func (pd *ParallelDecoder) payBatch(w, batch int) {
 	lo := batch * payBatchSymbols
 	hi := min(pd.curPayloadBits, lo+payBatchSymbols)
 	wk := pd.worker(w)
+	if pd.curEmitPay != nil {
+		wk.dem.ScanBatchEmit(pd.curSig, pd.curPayStart, lo, hi-lo, d.payCenter, pd.curHalfIdx, d.powers, pd.curPayloadBits, pd.curEmitPay)
+		return
+	}
 	wk.dem.ScanBatch(pd.curSig, pd.curPayStart, lo, hi-lo, d.payCenter, pd.curHalfIdx, d.powers, pd.curPayloadBits)
 }
 
@@ -147,12 +160,35 @@ func (pd *ParallelDecoder) Workers() int { return len(pd.workers) }
 // DecodeFrame is Decoder.DecodeFrame with the symbol batches computed in
 // parallel. Output is bit-identical to the serial path.
 func (pd *ParallelDecoder) DecodeFrame(sig []complex128, start int, shifts []int, payloadBits int) (*FrameDecode, error) {
+	return pd.decodeFrame(sig, start, shifts, payloadBits, nil)
+}
+
+// DecodeFrameEmit is Decoder.DecodeFrameEmit with the symbol batches
+// computed in parallel: workers write their spectra rows (disjoint
+// sections of emit) alongside the scan, and the decode outcome stays
+// bit-identical to the serial emit path — and hence to DecodeFrame.
+func (pd *ParallelDecoder) DecodeFrameEmit(sig []complex128, start int, shifts []int, payloadBits int, emit []float64) (*FrameDecode, error) {
+	if len(emit) < pd.dec.EmitLen(payloadBits) {
+		return nil, fmt.Errorf("core: emit arena length %d, want at least %d", len(emit), pd.dec.EmitLen(payloadBits))
+	}
+	return pd.decodeFrame(sig, start, shifts, payloadBits, emit)
+}
+
+func (pd *ParallelDecoder) decodeFrame(sig []complex128, start int, shifts []int, payloadBits int, emit []float64) (*FrameDecode, error) {
 	d := pd.dec
 	if err := d.begin(sig, start, shifts, payloadBits); err != nil {
 		return nil, err
 	}
 	n := d.book.Params().N()
+	bins := d.dem.PaddedBins()
 	pd.curSig, pd.curStart, pd.curPayloadBits = sig, start, payloadBits
+	pd.curPre, pd.curEmitPay = pd.preArena, nil
+	if emit != nil {
+		pd.curPre, pd.curEmitPay = emit[:PreambleUpSymbols*bins], emit[PreambleUpSymbols*bins:]
+	}
+	for sym := range pd.preSpec {
+		pd.preSpec[sym] = pd.curPre[sym*bins : (sym+1)*bins]
+	}
 
 	// Phase 1: preamble spectra and per-symbol noise quantiles, one
 	// symbol batch per work item. Workers write disjoint spectra slots
@@ -169,7 +205,7 @@ func (pd *ParallelDecoder) DecodeFrame(sig []complex128, start int, shifts []int
 	pd.curHalfIdx = d.trackHalf()
 	pool.ForEachWorker(len(pd.workers), batchCount(payloadBits, payBatchSymbols), pd.payWorker)
 
-	pd.curSig = nil
+	pd.curSig, pd.curEmitPay = nil, nil
 	d.finish(noise, payloadBits)
 	d.rejectGhosts(d.devices)
 	return &d.res, nil

@@ -125,9 +125,32 @@ type Deployment struct {
 // even with AGC.
 const MinAPDistance = 5.0
 
+// DefaultBandwidthHz is the paper's receive bandwidth (500 kHz), used
+// when a deployment carries no explicit bandwidth: Generate substitutes
+// it for a non-positive bwHz, and bandwidth() falls back to it for
+// legacy hand-built/decoded deployments whose BWHz field predates its
+// introduction.
+const DefaultBandwidthHz = 500e3
+
+// bandwidth returns the bandwidth per-AP SNRs are computed over.
+// Generate always populates BWHz, so the fallback only fires for legacy
+// deployments built by hand or decoded from pre-BWHz artifacts.
+func (d *Deployment) bandwidth() float64 {
+	if d.BWHz > 0 {
+		return d.BWHz
+	}
+	return DefaultBandwidthHz
+}
+
 // Generate places n devices uniformly over the floor (at least
 // MinAPDistance from the AP) and computes their link budgets over bwHz.
+// A non-positive bwHz is replaced by DefaultBandwidthHz, so a generated
+// deployment always carries the bandwidth its SNRs were computed over —
+// PlaceAPs never has to guess it.
 func Generate(plan FloorPlan, budget radio.LinkBudget, n int, bwHz float64, rng *dsp.Rand) *Deployment {
+	if bwHz <= 0 {
+		bwHz = DefaultBandwidthHz
+	}
 	d := &Deployment{Plan: plan, Budget: budget, BWHz: bwHz}
 	d.Devices = make([]Device, 0, n)
 	for len(d.Devices) < n {
@@ -148,16 +171,21 @@ func Generate(plan FloorPlan, budget radio.LinkBudget, n int, bwHz float64, rng 
 }
 
 // APPositions returns the deterministic k-AP placement for a floor:
-// APs evenly spaced along the long axis at mid-height, x_a =
-// (2a+1)·Width/(2k). For k = 1 this is the floor center — the
-// DefaultOffice's single AP — so a one-AP multi deployment reproduces
-// the classic geometry exactly.
+// APs evenly spaced along the long axis at the midpoint of the short
+// axis — position (2a+1)·L/(2k) along the long axis, L/2 across. A
+// floor with Height > Width lines up along Y instead of X (the
+// historical code always spaced along Width, stringing a tall floor's
+// APs across its short dimension). For k = 1 this is the floor center —
+// the DefaultOffice's single AP — so a one-AP multi deployment
+// reproduces the classic geometry exactly.
 func APPositions(plan FloorPlan, k int) []Point {
 	pts := make([]Point, k)
 	for a := 0; a < k; a++ {
-		pts[a] = Point{
-			X: float64(2*a+1) * plan.Width / float64(2*k),
-			Y: plan.Height / 2,
+		along := float64(2*a+1) / float64(2*k)
+		if plan.Height > plan.Width {
+			pts[a] = Point{X: plan.Width / 2, Y: along * plan.Height}
+		} else {
+			pts[a] = Point{X: along * plan.Width, Y: plan.Height / 2}
 		}
 	}
 	return pts
@@ -175,11 +203,18 @@ func APPositions(plan FloorPlan, k int) []Point {
 // Not safe to call concurrently with readers of the same deployment;
 // place APs before fanning networks out over a shared deployment.
 func (d *Deployment) PlaceAPs(k int) []Point {
-	bw := d.BWHz
-	if bw == 0 {
-		bw = 500e3 // pre-BWHz deployments: the paper's receive bandwidth
-	}
-	d.APs = APPositions(d.Plan, k)
+	return d.PlaceAPsAt(APPositions(d.Plan, k))
+}
+
+// PlaceAPsAt places the given AP positions and computes every device's
+// per-AP link budget over the deployment's bandwidth — PlaceAPs with
+// caller-chosen geometry (the placement optimizer's apply step, or any
+// custom infrastructure layout). The positions are copied; the caller's
+// slice is not retained.
+func (d *Deployment) PlaceAPsAt(pts []Point) []Point {
+	bw := d.bandwidth()
+	k := len(pts)
+	d.APs = append(d.APs[:0], pts...)
 	for i := range d.Devices {
 		dev := &d.Devices[i]
 		if cap(dev.APLinks) < k {
@@ -208,10 +243,7 @@ func (d *Deployment) PlaceAPs(k int) []Point {
 // wall counts track the new position exactly as Generate/PlaceAPs would
 // have computed them there (same formulas, no randomness).
 func (d *Deployment) RelinkDevice(i int) {
-	bw := d.BWHz
-	if bw == 0 {
-		bw = 500e3
-	}
+	bw := d.bandwidth()
 	dev := &d.Devices[i]
 	dist := dev.Pos.Distance(d.Plan.AP)
 	walls := d.Plan.WallsBetween(dev.Pos, d.Plan.AP)

@@ -103,30 +103,58 @@ func TestPointDistance(t *testing.T) {
 }
 
 // TestAPPositionsGeometry: the deterministic placement spreads k APs
-// along the long axis at mid-height, inside the floor, pairwise
-// distinct — and k=1 reproduces the classic central AP, the degeneracy
-// the multi-AP subsystem's single-AP compatibility rests on.
+// along the *actual* long axis at the short axis's midpoint, inside the
+// floor, strictly ordered — pinned table-driven for both orientations
+// (the historical code always spaced along Width, stringing a tall
+// floor's APs across its short axis) plus the square tie — and k=1
+// reproduces each plan's central AP, the degeneracy the multi-AP
+// subsystem's single-AP compatibility rests on.
 func TestAPPositionsGeometry(t *testing.T) {
-	plan := DefaultOffice
-	for _, k := range []int{1, 2, 4, 8} {
-		pts := APPositions(plan, k)
-		if len(pts) != k {
-			t.Fatalf("k=%d: %d positions", k, len(pts))
-		}
-		for a, p := range pts {
-			if p.X <= 0 || p.X >= plan.Width || p.Y <= 0 || p.Y >= plan.Height {
-				t.Fatalf("k=%d AP %d outside floor: %+v", k, a, p)
-			}
-			if p.Y != plan.Height/2 {
-				t.Fatalf("k=%d AP %d off the mid-height axis: %+v", k, a, p)
-			}
-			if a > 0 && pts[a].X <= pts[a-1].X {
-				t.Fatalf("k=%d APs not strictly ordered: %+v", k, pts)
-			}
-		}
+	tall := FloorPlan{Width: 20, Height: 40, RoomsX: 2, RoomsY: 6, AP: Point{X: 10, Y: 20}}
+	square := FloorPlan{Width: 30, Height: 30, RoomsX: 3, RoomsY: 3, AP: Point{X: 15, Y: 15}}
+	cases := []struct {
+		name string
+		plan FloorPlan
+		// axis extracts (along-long-axis, across) from a point.
+		axis func(p Point) (along, across float64)
+		mid  float64 // expected across-coordinate: midpoint of the short axis
+	}{
+		{"wide", DefaultOffice, func(p Point) (float64, float64) { return p.X, p.Y }, DefaultOffice.Height / 2},
+		{"tall", tall, func(p Point) (float64, float64) { return p.Y, p.X }, tall.Width / 2},
+		// A square floor keeps the historical X-axis layout (the tie
+		// breaks toward Width).
+		{"square", square, func(p Point) (float64, float64) { return p.X, p.Y }, square.Height / 2},
 	}
-	if one := APPositions(plan, 1)[0]; one != plan.AP {
-		t.Fatalf("k=1 placement %+v != classic AP %+v", one, plan.AP)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			long := math.Max(tc.plan.Width, tc.plan.Height)
+			for _, k := range []int{1, 2, 4, 8} {
+				pts := APPositions(tc.plan, k)
+				if len(pts) != k {
+					t.Fatalf("k=%d: %d positions", k, len(pts))
+				}
+				prev := math.Inf(-1)
+				for a, p := range pts {
+					if p.X <= 0 || p.X >= tc.plan.Width || p.Y <= 0 || p.Y >= tc.plan.Height {
+						t.Fatalf("k=%d AP %d outside floor: %+v", k, a, p)
+					}
+					along, across := tc.axis(p)
+					if across != tc.mid {
+						t.Fatalf("k=%d AP %d off the short-axis midpoint: %+v", k, a, p)
+					}
+					if want := float64(2*a+1) * long / float64(2*k); along != want {
+						t.Fatalf("k=%d AP %d at %v along the long axis, want %v", k, a, along, want)
+					}
+					if along <= prev {
+						t.Fatalf("k=%d APs not strictly ordered: %+v", k, pts)
+					}
+					prev = along
+				}
+			}
+			if one := APPositions(tc.plan, 1)[0]; one != tc.plan.AP {
+				t.Fatalf("k=1 placement %+v != classic AP %+v", one, tc.plan.AP)
+			}
+		})
 	}
 }
 

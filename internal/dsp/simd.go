@@ -43,6 +43,28 @@ func addIntoScalar(dst, src []complex128) {
 	}
 }
 
+// AddFloat64 adds src into dst element-wise: dst[i] += src[i]. This is
+// the power-spectrum sum of the soft cross-AP combining path: per-AP
+// planar power spectra are accumulated bin by bin before a single
+// combined peak scan. The slices must have equal length; mismatches
+// panic identically on the scalar and vector paths.
+func AddFloat64(dst, src []float64) {
+	if len(src) != len(dst) {
+		panic("dsp: AddFloat64 length mismatch")
+	}
+	if simdAVX2 && len(dst) >= 4 {
+		addF64AVX2(dst, src)
+		return
+	}
+	addF64Scalar(dst, src)
+}
+
+func addF64Scalar(dst, src []float64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
 // AxpyInto accumulates a constant complex multiple of src into dst:
 // dst[i] += src[i]·c, with the product expanded exactly as Go's
 // complex multiply (re·re − im·im, re·im + im·re). The slices must

@@ -33,6 +33,9 @@ func init() {
 func addIntoAVX2(dst, src []complex128)
 
 //go:noescape
+func addF64AVX2(dst, src []float64)
+
+//go:noescape
 func axpyIntoAVX2(dst, src []complex128, c complex128)
 
 //go:noescape

@@ -55,6 +55,48 @@ done:
 	VZEROUPPER
 	RET
 
+// func addF64AVX2(dst, src []float64)
+//
+// dst[i] += src[i] over independent double lanes, four per 32-byte
+// chunk with a scalar-double tail for the up-to-three leftovers.
+// VADDPD/VADDSD perform the same IEEE addition the scalar body does,
+// so results are bit-identical.
+TEXT ·addF64AVX2(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ dst_len+8(FP), DX
+	MOVQ DX, CX
+	SHRQ $2, CX        // quads of float64 = 32-byte chunks
+	JZ   tail
+
+loop:
+	VMOVUPD (DI), Y0
+	VMOVUPD (SI), Y1
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD Y0, (DI)
+	ADDQ    $32, DI
+	ADDQ    $32, SI
+	DECQ    CX
+	JNZ     loop
+
+tail:
+	ANDQ $3, DX
+	JZ   done
+
+tailloop:
+	VMOVSD (DI), X0
+	VMOVSD (SI), X1
+	VADDSD X1, X0, X0
+	VMOVSD X0, (DI)
+	ADDQ   $8, DI
+	ADDQ   $8, SI
+	DECQ   DX
+	JNZ    tailloop
+
+done:
+	VZEROUPPER
+	RET
+
 // func axpyIntoAVX2(dst, src []complex128, c complex128)
 //
 // dst[i] += src[i]·c with the complex product expanded exactly as the

@@ -9,6 +9,10 @@ func addIntoAVX2(dst, src []complex128) {
 	panic("dsp: AVX2 kernel called without AVX2 support")
 }
 
+func addF64AVX2(dst, src []float64) {
+	panic("dsp: AVX2 kernel called without AVX2 support")
+}
+
 func axpyIntoAVX2(dst, src []complex128, c complex128) {
 	panic("dsp: AVX2 kernel called without AVX2 support")
 }

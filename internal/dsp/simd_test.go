@@ -43,6 +43,42 @@ func TestAddIntoMatchesScalar(t *testing.T) {
 	}
 }
 
+// TestAddFloat64MatchesScalar pins the vector AddFloat64 body bit for
+// bit against the scalar reference across lengths covering the vector
+// body, all three tail residues and the scalar-only short cases.
+func TestAddFloat64MatchesScalar(t *testing.T) {
+	if !simdAVX2 {
+		t.Skip("no AVX2 on this machine; scalar path is the only body")
+	}
+	rng := NewRand(7)
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 64, 65, 66, 67, 1024} {
+		dst := make([]float64, n)
+		src := make([]float64, n)
+		for i := 0; i < n; i++ {
+			dst[i] = rng.Normal(0, 3)
+			src[i] = rng.Normal(0, 3)
+		}
+		want := append([]float64(nil), dst...)
+		addF64Scalar(want, src)
+		AddFloat64(dst, src)
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d: AddFloat64[%d] = %v, scalar = %v", n, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAddFloat64LengthMismatchPanics(t *testing.T) {
+	forceScalar(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddFloat64 with mismatched lengths did not panic")
+		}
+	}()
+	AddFloat64(make([]float64, 4), make([]float64, 3))
+}
+
 // TestAxpyIntoMatchesScalar pins the vector AxpyInto body bit for bit
 // against the scalar reference, including the complex-product expansion
 // order.

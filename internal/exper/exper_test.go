@@ -36,7 +36,7 @@ func cell(t *testing.T, tab Table, row, col int) float64 {
 func TestRegistryComplete(t *testing.T) {
 	// One experiment per paper artifact listed in DESIGN.md.
 	want := []string{"T1", "C1", "F4", "F7", "F8", "F9", "F12", "F14A", "F14B",
-		"F15A", "F15B", "F16", "F17", "F18", "F19", "S1", "B1", "M1", "R1", "R2"}
+		"F15A", "F15B", "F16", "F17", "F18", "F19", "S1", "B1", "M1", "M2", "R1", "R2"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %s missing", id)
@@ -180,6 +180,55 @@ func TestMultiAPDiversityShape(t *testing.T) {
 	for _, row := range tab.Rows[:2] {
 		if comb, best := mustF(t, row[2]), mustF(t, row[3]); comb != best {
 			t.Fatalf("k=1 combined PER %v != single-AP PER %v", comb, best)
+		}
+	}
+}
+
+func TestSoftCombiningShape(t *testing.T) {
+	res := runByID(t, "M2")
+	tab := res.Tables[0]
+	if len(tab.Rows) != 6 { // k ∈ {1,2,4} × {line, optimized} × quick n {192}
+		t.Fatalf("M2 rows = %d", len(tab.Rows))
+	}
+	strictGain := false
+	for _, row := range tab.Rows {
+		k := mustF(t, row[0])
+		soft := mustF(t, row[3])
+		sel := mustF(t, row[4])
+		best := mustF(t, row[5])
+		gained := mustF(t, row[6])
+		// The PER ladder: soft combining selects over {per-AP decodes,
+		// combined decode}, so it can never do worse than selection,
+		// and selection never worse than the best single AP.
+		if soft > sel+1e-9 {
+			t.Fatalf("soft PER %v above selection PER %v (row %v)", soft, sel, row)
+		}
+		if sel > best+1e-9 {
+			t.Fatalf("selection PER %v above best-AP PER %v (row %v)", sel, best, row)
+		}
+		if gained < 0 {
+			t.Fatalf("soft combining lost %v frames (row %v)", gained, row)
+		}
+		// k=1: the combined spectrum is the single AP's spectrum, so the
+		// soft outcome degenerates to selection exactly.
+		if k == 1 && soft != sel {
+			t.Fatalf("k=1 soft PER %v != selection PER %v (row %v)", soft, sel, row)
+		}
+		if k >= 2 && soft < sel {
+			strictGain = true
+		}
+	}
+	// The tentpole's acceptance shape: summing spectra must rescue
+	// frames that every individual AP lost at some k >= 2.
+	if !strictGain {
+		t.Fatal("soft combining never strictly beat selection at k >= 2")
+	}
+	// Rows come in (line, optimized) pairs per k; the optimizer must
+	// never be worse than the line placement under its own proxy.
+	for r := 0; r+1 < len(tab.Rows); r += 2 {
+		line, opt := mustF(t, tab.Rows[r][7]), mustF(t, tab.Rows[r+1][7])
+		if opt > line+1e-12 {
+			t.Fatalf("optimized placement proxy %v above line %v (k=%v)", opt, line, tab.Rows[r][0])
 		}
 	}
 }

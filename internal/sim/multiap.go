@@ -22,11 +22,23 @@ import (
 
 // MultiRoundStats is one multi-AP round's statistics: the combined
 // (post-aggregation) outcome plus each AP's standalone view of the same
-// round. PerAP aliases network-owned storage, valid until the next
-// RunRound call.
+// round. When the network runs with soft combining enabled
+// (SetSoftCombining), Soft additionally carries the outcome of
+// selecting per device over the per-AP decodes *and* the soft
+// (non-coherent power-summed) combined decode — by construction never
+// worse than Combined, since the combined decode only adds a candidate
+// to the selection pool. With soft combining off, Soft is zero. PerAP
+// aliases network-owned storage, valid until the next RunRound call.
 type MultiRoundStats struct {
 	Combined RoundStats
+	Soft     RoundStats
 	PerAP    []RoundStats
+}
+
+// SoftFramesGained returns how many CRC-valid frames soft spectral
+// combining added over frame-level selection combining this round.
+func (m MultiRoundStats) SoftFramesGained() int {
+	return m.Soft.FramesOK - m.Combined.FramesOK
 }
 
 // DiversityFramesGained returns how many CRC-valid frames the
@@ -51,6 +63,13 @@ type MultiAPNetwork struct {
 	rng      *dsp.Rand
 	mch      *air.MultiChannel
 	nAPs     int
+
+	// Soft (pre-detection) cross-AP combining: when enabled, each live
+	// AP's decode also emits its power spectra into a per-AP arena, the
+	// arenas are summed bin-wise in AP order, and combDec decodes the
+	// summed spectra as one more "virtual AP" in the selection pool.
+	soft    bool
+	combDec *core.Decoder
 
 	// per-device state, parallel to dep.Devices
 	slots    []int
@@ -83,6 +102,19 @@ type multiRoundCtx struct {
 	res   []*core.FrameDecode
 	sel   []int
 	perAP []RoundStats
+
+	// Soft-combining arenas (carved by SetSoftCombining): one emitted
+	// spectra arena per AP, the bin-wise sum, the per-AP results plus
+	// the combined decode as a virtual AP, and its selection scratch.
+	// softRes keeps the round's combined decode for inspection (tests,
+	// degeneracy oracles); like all decode results it aliases decoder
+	// arenas, valid until the next round.
+	emitArena []float64
+	emits     [][]float64
+	comb      []float64
+	resPlus   []*core.FrameDecode
+	softSel   []int
+	softRes   *core.FrameDecode
 
 	// Adversity support: saved copies of the per-device fan-out
 	// closures (restored after a round that silenced devices) and the
@@ -247,6 +279,36 @@ func (n *MultiAPNetwork) setSlot(i, slot int) {
 	n.encs[i] = core.NewEncoder(n.cfg.Params, n.rc.shifts[i])
 }
 
+// SetSoftCombining turns the soft (non-coherent power) cross-AP
+// combining path on or off for subsequent rounds. Enabling it carves
+// the per-AP emit arenas and the combined-spectra decoder on first use;
+// after that warm-up the soft round stays steady-state allocation-free,
+// like the rest of the round path. The combining work is strictly
+// additive: per-AP decodes, selection aggregation and every random draw
+// are untouched, so a network's Combined/PerAP stats are bit-identical
+// with the flag on or off.
+func (n *MultiAPNetwork) SetSoftCombining(on bool) {
+	n.soft = on
+	if !on || n.combDec != nil {
+		return
+	}
+	n.combDec = core.NewDecoder(n.book, resolveDecoderConfig(n.cfg, n.book.Skip()))
+	payloadBits := n.cfg.PayloadBytes*8 + core.CRCBits
+	emitLen := n.combDec.EmitLen(payloadBits)
+	rc := &n.rc
+	rc.emitArena = make([]float64, n.nAPs*emitLen)
+	rc.emits = make([][]float64, n.nAPs)
+	for a := 0; a < n.nAPs; a++ {
+		rc.emits[a] = rc.emitArena[a*emitLen : (a+1)*emitLen]
+	}
+	rc.comb = make([]float64, emitLen)
+	rc.resPlus = make([]*core.FrameDecode, 0, n.nAPs+1)
+	rc.softSel = make([]int, len(rc.sel))
+}
+
+// SoftCombining reports whether the soft combining path is enabled.
+func (n *MultiAPNetwork) SoftCombining() bool { return n.soft }
+
 // Book exposes the code book.
 func (n *MultiAPNetwork) Book() *core.CodeBook { return n.book }
 
@@ -371,11 +433,44 @@ func (n *MultiAPNetwork) runRound(nDevices int, adv *advRound) (MultiRoundStats,
 			rc.res[a] = nil // a dead AP contributes nothing
 			continue
 		}
-		res, err := n.decoders[a].DecodeFrame(rc.sigs[a], 0, rc.shifts[:nDevices], payloadBits)
+		var res *core.FrameDecode
+		var err error
+		if n.soft {
+			res, err = n.decoders[a].DecodeFrameEmit(rc.sigs[a], 0, rc.shifts[:nDevices], payloadBits, rc.emits[a])
+		} else {
+			res, err = n.decoders[a].DecodeFrame(rc.sigs[a], 0, rc.shifts[:nDevices], payloadBits)
+		}
 		if err != nil {
 			return MultiRoundStats{}, err
 		}
 		rc.res[a] = res
+	}
+
+	// Soft combining: sum the live APs' emitted power spectra bin-wise
+	// (serial, in AP order — bit-identical at any GOMAXPROCS) and decode
+	// the sum as one more candidate decode. Dead APs' arenas hold stale
+	// spectra and are excluded, exactly like their frame decodes.
+	rc.softRes = nil
+	if n.soft {
+		nSummed := 0
+		for a := 0; a < n.nAPs; a++ {
+			if rc.res[a] == nil {
+				continue
+			}
+			if nSummed == 0 {
+				copy(rc.comb, rc.emits[a])
+			} else {
+				dsp.AddFloat64(rc.comb, rc.emits[a])
+			}
+			nSummed++
+		}
+		if nSummed > 0 {
+			res, err := n.combDec.DecodeFrameSpectra(rc.comb, nSummed, rc.shifts[:nDevices], payloadBits)
+			if err != nil {
+				return MultiRoundStats{}, err
+			}
+			rc.softRes = res
+		}
 	}
 
 	base := RoundStats{
@@ -411,7 +506,29 @@ func (n *MultiAPNetwork) runRound(nDevices int, adv *advRound) (MultiRoundStats,
 		}
 		tallyDevice(&combined, &rc.res[a].Devices[i], rc.bits[i], rc.payloads[i], payloadBits)
 	}
-	return MultiRoundStats{Combined: combined, PerAP: rc.perAP}, nil
+
+	// Soft outcome: the same CRC-preferring selection, over the per-AP
+	// decodes plus the combined-spectra decode as a virtual AP at index
+	// nAPs. Because selection only gains a candidate, the soft stats are
+	// structurally no worse than the selection-combining stats; the
+	// diversity gain is every device only the *sum* of the APs can hear.
+	var soft RoundStats
+	if n.soft {
+		soft = base
+		rc.resPlus = append(rc.resPlus[:0], rc.res...)
+		rc.resPlus = append(rc.resPlus, rc.softRes)
+		AggregateDecodes(rc.softSel[:nDevices], rc.resPlus)
+		for i, a := range rc.softSel[:nDevices] {
+			if a < 0 {
+				continue
+			}
+			if adv != nil && adv.active != nil && !adv.active[i] {
+				continue
+			}
+			tallyDevice(&soft, &rc.resPlus[a].Devices[i], rc.bits[i], rc.payloads[i], payloadBits)
+		}
+	}
+	return MultiRoundStats{Combined: combined, Soft: soft, PerAP: rc.perAP}, nil
 }
 
 // BestDecode returns the index of the AP whose decode of candidate dev

@@ -50,9 +50,11 @@ echo "== race: concurrent paths =="
 # scaling, (AP, tile) workers, per-AP decodes — with its own
 # GOMAXPROCS and single-AP-oracle sweeps), the adversarial trajectory
 # runner (oracle bit-identity, churn/dropout recovery accounting, the
-# full-adversity GOMAXPROCS sweep) and the stream/noise kernels, all
-# under the race detector.
-go test -race -count=1 -run 'Concurrent|Parallel|Race|Mixed|Tiled|Stream|MultiAP|MultiChannel|Trajectory|Churn|Dropout' ./internal/sim ./internal/core ./internal/air ./internal/pool ./internal/dsp ./internal/radio
+# full-adversity GOMAXPROCS sweep), the soft cross-AP combining path
+# (emit arenas filled by pool workers, serial bin-wise sum, its own
+# GOMAXPROCS sweep) and the stream/noise kernels, all under the race
+# detector.
+go test -race -count=1 -run 'Concurrent|Parallel|Race|Mixed|Tiled|Stream|MultiAP|MultiChannel|Trajectory|Churn|Dropout|Soft|Emit' ./internal/sim ./internal/core ./internal/air ./internal/pool ./internal/dsp ./internal/radio
 
 echo "== benchguard: perf trajectory =="
 scripts/benchguard.sh
