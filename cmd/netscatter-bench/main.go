@@ -7,6 +7,17 @@
 // Usage:
 //
 //	go run ./cmd/netscatter-bench -tag PR1 [-out .] [-benchtime 1s]
+//
+// scripts/benchguard.sh diffs the two newest committed reports and
+// fails on a >10% ns/op regression or any new allocation. Newly added
+// benchmarks are accepted silently; renames and removals must be
+// declared explicitly:
+//
+//	scripts/benchguard.sh                                 # gate HEAD vs previous
+//	scripts/benchguard.sh -allow-new OldName=NewName      # declare a rename
+//	scripts/benchguard.sh -allow-new RetiredName          # declare a removal
+//
+// (README.md "Performance trajectory" documents the same workflow.)
 package main
 
 import (

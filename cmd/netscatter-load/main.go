@@ -1,0 +1,147 @@
+// Command netscatter-load drives synthetic tenant load against a
+// running netscatter-serve instance: it creates -deployments tenants,
+// steps rounds from -clients concurrent workers for -duration, backs
+// off on 429s, then prints a throughput/latency/throttle summary and
+// deletes what it created.
+//
+//	netscatter-serve &
+//	netscatter-load -base http://127.0.0.1:8437 -deployments 64 -clients 8 -duration 30s
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netscatter/internal/serve"
+)
+
+func main() {
+	var (
+		base        = flag.String("base", "http://127.0.0.1:8437", "netscatter-serve base URL")
+		deployments = flag.Int("deployments", 32, "tenants to create")
+		clients     = flag.Int("clients", 8, "concurrent step workers")
+		duration    = flag.Duration("duration", 15*time.Second, "how long to drive load")
+		devices     = flag.Int("devices", 4, "devices per tenant")
+		aps         = flag.Int("aps", 1, "access points per tenant")
+		sf          = flag.Int("sf", 7, "spreading factor per tenant")
+		batch       = flag.Int("batch", 4, "rounds per step request")
+		seed        = flag.Int64("seed", 1, "base deployment seed (tenant i uses seed+i)")
+		jsonOut     = flag.Bool("json", false, "emit the summary as JSON")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := &serve.Client{BaseURL: *base}
+
+	ids := make([]int64, 0, *deployments)
+	for i := 0; i < *deployments; i++ {
+		id, err := c.CreateDeployment(ctx, serve.DeploymentConfig{
+			Name:    fmt.Sprintf("load-%d", i),
+			Devices: *devices,
+			APs:     *aps,
+			SF:      *sf,
+			Seed:    *seed + int64(i),
+		})
+		if err != nil {
+			log.Fatalf("create deployment %d: %v", i, err)
+		}
+		ids = append(ids, id)
+	}
+	log.Printf("created %d deployments, driving %d clients for %v", len(ids), *clients, *duration)
+
+	var (
+		steps     atomic.Int64
+		throttles atomic.Int64
+		errCount  atomic.Int64
+		latMu     sync.Mutex
+		latencies []time.Duration
+	)
+	loadCtx, loadCancel := context.WithTimeout(ctx, *duration)
+	defer loadCancel()
+	var wg sync.WaitGroup
+	for w := 0; w < *clients; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			for loadCtx.Err() == nil {
+				id := ids[rng.Intn(len(ids))]
+				t0 := time.Now()
+				_, err := c.Step(loadCtx, id, *batch)
+				d := time.Since(t0)
+				switch {
+				case errors.Is(err, serve.ErrThrottled):
+					throttles.Add(1)
+					time.Sleep(5 * time.Millisecond)
+				case err != nil:
+					if loadCtx.Err() == nil {
+						errCount.Add(1)
+					}
+				default:
+					steps.Add(1)
+					latMu.Lock()
+					latencies = append(latencies, d)
+					latMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Let the backlog drain, then pull the aggregate counters.
+	time.Sleep(200 * time.Millisecond)
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		log.Printf("metrics: %v", err)
+	}
+	for _, id := range ids {
+		if err := c.DeleteDeployment(ctx, id); err != nil {
+			log.Printf("delete %d: %v", id, err)
+		}
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := min(len(latencies)-1, int(p*float64(len(latencies))))
+		return latencies[i]
+	}
+	summary := map[string]any{
+		"deployments":      len(ids),
+		"clients":          *clients,
+		"duration_seconds": duration.Seconds(),
+		"step_requests":    steps.Load(),
+		"throttled":        throttles.Load(),
+		"errors":           errCount.Load(),
+		"step_p50_ms":      float64(pct(0.50)) / 1e6,
+		"step_p99_ms":      float64(pct(0.99)) / 1e6,
+		"rounds_total":     metrics["rounds_total"],
+		"frames_ok_total":  metrics["frames_ok_total"],
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summary); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	log.Printf("steps=%d throttled=%d errors=%d p50=%.2fms p99=%.2fms rounds=%d frames_ok=%d",
+		steps.Load(), throttles.Load(), errCount.Load(),
+		float64(pct(0.50))/1e6, float64(pct(0.99))/1e6,
+		metrics["rounds_total"], metrics["frames_ok_total"])
+}

@@ -1,0 +1,77 @@
+// Command netscatter-serve hosts many independent NetScatter
+// deployments in one long-lived process, driven over HTTP+JSON.
+//
+// Start it, create a deployment, step it, read its stats:
+//
+//	netscatter-serve -addr :8437 &
+//	curl -s -X POST localhost:8437/v1/deployments -d '{"devices":16,"aps":2}'
+//	curl -s -X POST localhost:8437/v1/deployments/1/step -d '{"rounds":50}'
+//	curl -s localhost:8437/v1/deployments/1/stats
+//
+// The full endpoint reference is docs/API.md; /debug/pprof and
+// /metrics expose the usual operational surfaces.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netscatter/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8437", "listen address")
+		workers     = flag.Int("workers", 0, "round scheduler workers (0 = GOMAXPROCS)")
+		roundBudget = flag.Int("round-budget", 0, "max rounds per scheduled tenant turn (0 = default 8)")
+		maxPending  = flag.Int("max-pending", 0, "max queued rounds per deployment before 429 (0 = default 1024)")
+		maxDeploys  = flag.Int("max-deployments", 0, "max concurrent deployments before 429 (0 = default 4096)")
+		maxDevices  = flag.Int("max-devices", 0, "max devices per deployment (0 = default 256)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"netscatter-serve: multi-tenant NetScatter simulation service\n\nUsage:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"\nEndpoints are documented in docs/API.md; pair with\ncmd/netscatter-load to drive synthetic tenant load.\n")
+	}
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		Workers:        *workers,
+		RoundBudget:    *roundBudget,
+		MaxPending:     *maxPending,
+		MaxDeployments: *maxDeploys,
+		MaxDevices:     *maxDevices,
+	})
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	log.Printf("netscatter-serve listening on %s", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	case got := <-sig:
+		log.Printf("received %v, draining", got)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		cancel()
+	}
+	s.Close()
+}

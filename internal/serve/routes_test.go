@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// docHeading matches the endpoint headings docs/API.md uses:
+//
+//	### `METHOD /path`
+var docHeading = regexp.MustCompile("(?m)^### `([A-Z]+) (/[^`]*)`")
+
+// TestRoutesDocumented keeps docs/API.md honest in both directions:
+// every route the server registers must have a heading in the
+// reference, and every heading must correspond to a registered route.
+func TestRoutesDocumented(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "API.md"))
+	if err != nil {
+		t.Fatalf("docs/API.md must exist and document the API: %v", err)
+	}
+	documented := map[string]bool{}
+	for _, m := range docHeading.FindAllStringSubmatch(string(data), -1) {
+		documented[m[1]+" "+m[2]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("docs/API.md has no '### `METHOD /path`' endpoint headings")
+	}
+
+	s := New(Config{})
+	defer s.Close()
+	registered := map[string]bool{}
+	for _, rt := range s.Routes() {
+		key := rt.Method + " " + rt.Pattern
+		registered[key] = true
+		if !documented[key] {
+			t.Errorf("route %q is registered but undocumented in docs/API.md", key)
+		}
+		if rt.Doc == "" {
+			t.Errorf("route %q has no Doc string", key)
+		}
+	}
+	for key := range documented {
+		if !registered[key] {
+			t.Errorf("docs/API.md documents %q but the server does not register it", key)
+		}
+	}
+}

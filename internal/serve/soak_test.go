@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestSoakManyDeployments holds a large fleet of small deployments in
+// one server and drives rounds through the HTTP API in waves, checking
+// the two resident-service properties the package promises:
+//
+//   - steady-state round throughput does not decay between waves
+//     (no queue collapse, no scheduler starvation), and
+//   - the heap is flat once the per-tenant arenas exist — the round
+//     hot path allocates nothing, so more rounds must not mean more
+//     memory.
+//
+// The full run hosts 1000 concurrent deployments; -short scales the
+// fleet down for CI but exercises the same path.
+func TestSoakManyDeployments(t *testing.T) {
+	fleet := 1000
+	roundsPerWave := 4
+	if testing.Short() {
+		fleet = 128
+	}
+
+	_, c := newTestServer(t, Config{MaxDeployments: fleet})
+	ctx := context.Background()
+
+	ids := make([]int64, 0, fleet)
+	for i := 0; i < fleet; i++ {
+		id, err := c.CreateDeployment(ctx, DeploymentConfig{
+			Name:         fmt.Sprintf("soak-%d", i),
+			Devices:      2,
+			SF:           6,
+			PayloadBytes: 2,
+			Seed:         int64(i + 1),
+		})
+		if err != nil {
+			t.Fatalf("create %d/%d: %v", i, fleet, err)
+		}
+		ids = append(ids, id)
+	}
+
+	wave := func(n int) (rounds int64, elapsed time.Duration) {
+		start := time.Now()
+		before := totalRounds(t, c)
+		for _, id := range ids {
+			if _, err := c.Step(ctx, id, n); err != nil {
+				t.Fatalf("step %d: %v", id, err)
+			}
+		}
+		want := before + int64(n*len(ids))
+		deadline := time.Now().Add(2 * time.Minute)
+		for {
+			if got := totalRounds(t, c); got >= want {
+				return got - before, time.Since(start)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("wave stalled: %d/%d rounds", totalRounds(t, c)-before, n*len(ids))
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Wave 0 warms every tenant's round arenas (first rounds grow
+	// buffers once); the heap baseline is taken after it.
+	wave(2)
+	heap0 := heapInUse()
+
+	r1, d1 := wave(roundsPerWave)
+	r2, d2 := wave(roundsPerWave)
+	heap1 := heapInUse()
+
+	tp1 := float64(r1) / d1.Seconds()
+	tp2 := float64(r2) / d2.Seconds()
+	t.Logf("fleet=%d wave1=%.0f rounds/s wave2=%.0f rounds/s heap %0.1f MB -> %0.1f MB",
+		fleet, tp1, tp2, float64(heap0)/1e6, float64(heap1)/1e6)
+
+	if tp2 < 0.4*tp1 {
+		t.Fatalf("round throughput collapsed between waves: %.0f -> %.0f rounds/s", tp1, tp2)
+	}
+	// Flat heap: thousands more rounds must not grow live memory beyond
+	// noise (GC timing, HTTP scratch). 10 MB of slack on top of 10%.
+	limit := heap0 + heap0/10 + 10<<20
+	if heap1 > limit {
+		t.Fatalf("heap grew across waves: %d -> %d bytes (limit %d)", heap0, heap1, limit)
+	}
+
+	// The fleet stays individually addressable at scale: spot-check a
+	// tenant's stats and tear one down.
+	st, err := c.Stats(ctx, ids[len(ids)/2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats.Rounds < int(2+2*roundsPerWave) {
+		t.Fatalf("mid-fleet tenant ran %d rounds; want >= %d", st.Stats.Rounds, 2+2*roundsPerWave)
+	}
+	if err := c.DeleteDeployment(ctx, ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["deployments_active"] != int64(fleet-1) {
+		t.Fatalf("deployments_active = %d; want %d", m["deployments_active"], fleet-1)
+	}
+}
+
+func totalRounds(t *testing.T, c *Client) int64 {
+	t.Helper()
+	m, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	return m["rounds_total"]
+}
+
+// heapInUse forces two GCs (finalizers, then the real collection) and
+// reports live heap bytes.
+func heapInUse() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}

@@ -96,6 +96,16 @@ type TrajectoryConfig struct {
 	// evolved fade sits this many dB or more below the mean channel
 	// (default 15).
 	DeepFadeDB float64
+
+	// NoSeries disables the per-round series (PERPerRound,
+	// FramesOKPerRound, ActivePerRound) — the only trajectory state
+	// that grows without bound in the round count. Long-lived hosts
+	// (netscatter-serve) step trajectories indefinitely and keep their
+	// own bounded aggregates; with NoSeries set, every scalar counter,
+	// the loss attribution and the (event-bounded) recovery-latency
+	// list keep accumulating, while MeanPER returns 0 for lack of a
+	// series.
+	NoSeries bool
 }
 
 func (cfg TrajectoryConfig) withDefaults() TrajectoryConfig {
@@ -605,9 +615,11 @@ func (t *Trajectory) Step() (MultiRoundStats, error) {
 	}
 
 	t.stats.Rounds++
-	t.stats.PERPerRound = append(t.stats.PERPerRound, stats.Combined.PER())
-	t.stats.FramesOKPerRound = append(t.stats.FramesOKPerRound, stats.Combined.FramesOK)
-	t.stats.ActivePerRound = append(t.stats.ActivePerRound, stats.Combined.Devices)
+	if !t.cfg.NoSeries {
+		t.stats.PERPerRound = append(t.stats.PERPerRound, stats.Combined.PER())
+		t.stats.FramesOKPerRound = append(t.stats.FramesOKPerRound, stats.Combined.FramesOK)
+		t.stats.ActivePerRound = append(t.stats.ActivePerRound, stats.Combined.Devices)
+	}
 	if stats.Combined.Devices > 0 && stats.Combined.FramesOK == 0 {
 		t.stats.AllLostRounds++
 	}

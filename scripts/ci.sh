@@ -3,8 +3,9 @@
 # staticcheck when available), build, tests (which include the
 # golden-vector, zero-allocation, batch-vs-oracle bit-exactness and
 # fuzz-seed gates), an explicit fuzz-seed pass, a race-detector pass
-# over the concurrent paths, and the benchmark-trajectory guard over the
-# committed BENCH_<tag>.json reports.
+# over the concurrent paths, the benchmark-trajectory guard over the
+# committed BENCH_<tag>.json reports, and the docs gate (route-coverage
+# test, markdown link check, short-mode service soak).
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -54,9 +55,23 @@ echo "== race: concurrent paths =="
 # (emit arenas filled by pool workers, serial bin-wise sum, its own
 # GOMAXPROCS sweep) and the stream/noise kernels, all under the race
 # detector.
-go test -race -count=1 -run 'Concurrent|Parallel|Race|Mixed|Tiled|Stream|MultiAP|MultiChannel|Trajectory|Churn|Dropout|Soft|Emit' ./internal/sim ./internal/core ./internal/air ./internal/pool ./internal/dsp ./internal/radio
+go test -race -count=1 -run 'Concurrent|Parallel|Race|Mixed|Tiled|Stream|MultiAP|MultiChannel|Trajectory|Churn|Dropout|Soft|Emit|Fair|Accumulator' ./internal/sim ./internal/core ./internal/air ./internal/pool ./internal/dsp ./internal/radio
+
+echo "== serve: race + short soak =="
+# The multi-tenant service under the race detector (endpoints, stream
+# fan-out, fair scheduling), plus the reduced-fleet soak: steady round
+# throughput and a flat heap across waves.
+go test -race -count=1 -short ./internal/serve
 
 echo "== benchguard: perf trajectory =="
 scripts/benchguard.sh
+
+echo "== docs =="
+# Route coverage: every registered endpoint documented in docs/API.md
+# and vice versa.
+go test -count=1 -run 'TestRoutesDocumented' ./internal/serve
+# Link check: every relative markdown link in the top-level and docs/
+# references must resolve to a real file.
+scripts/linkcheck.sh
 
 echo "ci.sh: all green"

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# linkcheck.sh — verifies every relative markdown link in README.md,
+# docs/*.md and DESIGN-*.md resolves to an existing file. External
+# (http/https/mailto) links and pure #anchors are skipped; a path's
+# #fragment is stripped before the existence check.
+# Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+checked=0
+for doc in README.md docs/*.md DESIGN-*.md ROADMAP.md CHANGES.md PAPER.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    # Extract markdown link targets: [text](target)
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|'#'*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ]; then
+            echo "linkcheck: $doc links to missing file: $target" >&2
+            fail=1
+        fi
+    done < <(grep -oE '\[[^][]*\]\([^()[:space:]]+\)' "$doc" | sed -E 's/.*\(([^()]+)\)/\1/')
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "linkcheck: $checked relative links resolve"
