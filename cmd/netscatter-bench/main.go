@@ -7,6 +7,15 @@
 // Usage:
 //
 //	go run ./cmd/netscatter-bench -tag PR1 [-out .] [-benchtime 1s]
+//	    [-best N] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -best N runs the whole suite N times and keeps each benchmark's
+// minimum ns/op — the least-noise estimate on a shared machine; the
+// chosen N is recorded in the report's best_of field so committed
+// trajectories state their own methodology. -cpuprofile/-memprofile
+// write pprof profiles covering the benchmark runs (CPU spans every
+// pass; the heap snapshot is taken after the last), for
+// `go tool pprof` against the netscatter-bench binary.
 //
 // scripts/benchguard.sh diffs the two newest committed reports and
 // fails on a >10% ns/op regression or any new allocation. Newly added
@@ -27,6 +36,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
@@ -63,6 +73,7 @@ type Report struct {
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	CPUModel   string   `json:"cpu_model,omitempty"`
 	BenchTime  string   `json:"bench_time,omitempty"`
+	BestOf     int      `json:"best_of,omitempty"`
 	Timestamp  string   `json:"timestamp"`
 	Results    []Result `json:"results"`
 }
@@ -88,7 +99,14 @@ func main() {
 	tag := flag.String("tag", "local", "report tag; output file is BENCH_<tag>.json")
 	out := flag.String("out", ".", "output directory")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark target duration")
+	best := flag.Int("best", 1, "run the suite N times, keep each benchmark's minimum ns/op")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering all benchmark passes to this file")
+	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	flag.Parse()
+	if *best < 1 {
+		fmt.Fprintf(os.Stderr, "netscatter-bench: -best must be >= 1\n")
+		os.Exit(1)
+	}
 
 	// testing.Benchmark honors the package-level benchtime flag.
 	if err := flag.CommandLine.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
@@ -105,21 +123,64 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		CPUModel:   cpuModel(),
 		BenchTime:  benchtime.String(),
+		BestOf:     *best,
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 	}
 
-	for _, bm := range benchmarks() {
-		fmt.Printf("%-44s", bm.name)
-		r := testing.Benchmark(bm.fn)
-		res := Result{
-			Name:        bm.name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netscatter-bench: %v\n", err)
+			os.Exit(1)
 		}
-		report.Results = append(report.Results, res)
-		fmt.Printf("%14.0f ns/op %8d allocs/op\n", res.NsPerOp, res.AllocsPerOp)
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "netscatter-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	for pass := 0; pass < *best; pass++ {
+		if *best > 1 {
+			fmt.Printf("pass %d/%d\n", pass+1, *best)
+		}
+		for i, bm := range benchmarks() {
+			fmt.Printf("%-44s", bm.name)
+			r := testing.Benchmark(bm.fn)
+			res := Result{
+				Name:        bm.name,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			}
+			fmt.Printf("%14.0f ns/op %8d allocs/op\n", res.NsPerOp, res.AllocsPerOp)
+			if pass == 0 {
+				report.Results = append(report.Results, res)
+				continue
+			}
+			// Keep the fastest pass per benchmark; allocation counts are
+			// deterministic across passes, so min ns/op picks the
+			// least-noise timing without mixing rows.
+			if res.NsPerOp < report.Results[i].NsPerOp {
+				report.Results[i] = res
+			}
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netscatter-bench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "netscatter-bench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	path := filepath.Join(*out, fmt.Sprintf("BENCH_%s.json", *tag))

@@ -70,9 +70,7 @@ func (tx *MultiTransmission) contributes() bool {
 // oracle Channel receive are the same bits.
 func ScaleTemplate(dst, src []complex128, c complex128) []complex128 {
 	dst = growComplex(dst[:0], len(src))
-	for i, v := range src {
-		dst[i] = v * c
-	}
+	dsp.ScaleInto(dst, src, c)
 	return dst
 }
 

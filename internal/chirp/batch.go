@@ -55,12 +55,7 @@ func (d *Demodulator) dechirpTile(sig []complex128, start, firstSym, count int) 
 		sym := sig[start+(firstSym+s)*n : start+(firstSym+s+1)*n]
 		re := d.batchRe[s*padN : s*padN+n]
 		im := d.batchIm[s*padN : s*padN+n]
-		for i := 0; i < n; i++ {
-			ar, ai := real(sym[i]), imag(sym[i])
-			br, bi := real(down[i]), imag(down[i])
-			re[i] = ar*br - ai*bi
-			im[i] = ar*bi + ai*br
-		}
+		dsp.Dechirp(re, im, sym, down[:n])
 	}
 	d.batchPlan().ForwardBatch(d.batchRe, d.batchIm, count)
 }
@@ -192,15 +187,9 @@ func planarWindowPower(re, im []float64, center, half int) float64 {
 	n := len(re)
 	lo, hi := center-half, center+half
 	if lo >= 0 && hi < n {
-		r, m := re[lo], im[lo]
-		val := r*r + m*m
-		for i := lo + 1; i <= hi; i++ {
-			r, m = re[i], im[i]
-			if p := r*r + m*m; p > val {
-				val = p
-			}
-		}
-		return val
+		// Contiguous window: dsp's max-power kernel (AVX2 with a
+		// bit-identical scalar fallback).
+		return dsp.MaxPower(re[lo:hi+1], im[lo:hi+1])
 	}
 	// Boundary-straddling window: mirror dsp.MaxInWindow's walk.
 	val := 0.0

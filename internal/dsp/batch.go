@@ -217,19 +217,20 @@ func (bp *BatchPlan) fusedFirstStage(re, im []float64, base int) {
 	z := bp.z
 	st := &bp.stages[0]
 	twr, twi := st.twr[:z], st.twi[:z]
-	vector := simdAVX2 && z >= 4
+	if simdAVX2 && z >= 4 {
+		// Whole-block kernel: the backward chunk walk, per-chunk prefix
+		// broadcasts and stage-output stores run in one asm call — at
+		// small z a per-chunk call spent more time in call overhead
+		// than in butterflies.
+		firstStageBlockAVX2(re, im, base, bp.block, twr, twi)
+		return
+	}
 	for start := base + bp.block - 2*z; start >= base; start -= 2 * z {
 		pv := start / z
 		v0r, v0i := re[pv], im[pv]
 		v1r, v1i := re[pv+1], im[pv+1]
 		or := re[start : start+2*z]
 		oi := im[start : start+2*z]
-		if vector {
-			// The prefix values are already in locals, so the kernel is
-			// free to overwrite the chunk that contains them.
-			firstStageAVX2(or, oi, twr, twi, v0r, v0i, v1r, v1i)
-			continue
-		}
 		for j := 0; j < z; j++ {
 			wr, wi := twr[j], twi[j]
 			tr := wr*v1r - wi*v1i

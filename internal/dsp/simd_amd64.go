@@ -27,6 +27,8 @@ func init() {
 	_, b7, _, _ := cpuid(7, 0)
 	const avx2 = 1 << 5
 	simdAVX2 = b7&avx2 != 0
+	const fma3 = 1 << 12
+	simdFMA = simdAVX2 && c1&fma3 != 0
 }
 
 //go:noescape
@@ -39,10 +41,28 @@ func addF64AVX2(dst, src []float64)
 func axpyIntoAVX2(dst, src []complex128, c complex128)
 
 //go:noescape
+func scaleIntoAVX2(dst, src []complex128, c complex128)
+
+//go:noescape
 func stageAVX2(are, aim, bre, bim, twr, twi []float64)
 
 //go:noescape
 func stagePairAVX2(re, im []float64, start, h int, w1r, w1i, w2r, w2i []float64)
 
 //go:noescape
-func firstStageAVX2(or, oi, twr, twi []float64, v0r, v0i, v1r, v1i float64)
+func firstStageBlockAVX2(re, im []float64, base, block int, twr, twi []float64)
+
+//go:noescape
+func addScaledFloatsAVX2(dst []complex128, src []float64, s float64)
+
+//go:noescape
+func dechirpAVX2(re, im []float64, sym, down []complex128)
+
+//go:noescape
+func synthChains8AVX2(dst []complex128, st *[32]float64, dLr, dLi, mag float64, steps int)
+
+//go:noescape
+func maxPowerAVX2(re, im []float64) float64
+
+//go:noescape
+func zigFillAVX2(dst []float64, wbuf []uint64, st *Stream, kTab *uint64, wTab *float64) int

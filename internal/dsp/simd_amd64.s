@@ -99,13 +99,81 @@ done:
 
 // func axpyIntoAVX2(dst, src []complex128, c complex128)
 //
-// dst[i] += src[i]·c with the complex product expanded exactly as the
-// scalar body: re = sr·cr − si·ci (two multiplies, one subtract),
-// im = si·cr + sr·ci (two multiplies, one add — addition commuted
-// against the scalar body, which is bitwise-neutral). VADDSUBPD
-// performs the subtract on even (real) lanes and the add on odd
-// (imaginary) lanes in one instruction.
+// dst[i] += src[i]·c with the product fused exactly as the scalar
+// body: prod = swap(src)·ci (one VMULPD), then VFMADDSUB231PD computes
+// src·cr − prod on real lanes and src·cr + prod on imaginary lanes in
+// one fused instruction — tr = FMA(sr, cr, −si·ci), ti = FMA(si, cr,
+// sr·ci) — and the accumulate stays a separate VADDPD, matching the
+// scalar `dst[i] += complex(tr, ti)`. The main loop is unrolled to two
+// independent 32-byte chunks with offset addressing, cutting the loop
+// bookkeeping roughly in half on this store-throughput-bound kernel.
+// Requires FMA3 (dispatched on simdFMA).
 TEXT ·axpyIntoAVX2(SB), NOSPLIT, $0-64
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ dst_len+8(FP), DX
+	VBROADCASTSD c_real+48(FP), Y2 // [cr cr cr cr]
+	VBROADCASTSD c_imag+56(FP), Y3 // [ci ci ci ci]
+	XORQ AX, AX
+	MOVQ DX, CX
+	SHRQ $2, CX // 64-byte chunks of four complex
+	JZ   rest
+
+loop:
+	VMOVUPD        (SI)(AX*1), Y0     // [sr0 si0 sr1 si1]
+	VPERMILPD      $0x5, Y0, Y1       // [si0 sr0 si1 sr1]
+	VMULPD         Y3, Y1, Y1         // [si·ci, sr·ci, …]
+	VFMADDSUB231PD Y2, Y0, Y1         // [sr·cr−si·ci, si·cr+sr·ci, …]
+	VMOVUPD        (DI)(AX*1), Y4
+	VADDPD         Y4, Y1, Y1
+	VMOVUPD        Y1, (DI)(AX*1)
+	VMOVUPD        32(SI)(AX*1), Y5
+	VPERMILPD      $0x5, Y5, Y6
+	VMULPD         Y3, Y6, Y6
+	VFMADDSUB231PD Y2, Y5, Y6
+	VMOVUPD        32(DI)(AX*1), Y7
+	VADDPD         Y7, Y6, Y6
+	VMOVUPD        Y6, 32(DI)(AX*1)
+	ADDQ           $64, AX
+	DECQ           CX
+	JNZ            loop
+
+rest:
+	ADDQ  AX, DI
+	ADDQ  AX, SI
+	TESTQ $2, DX
+	JZ    tail
+	VMOVUPD        (SI), Y0
+	VPERMILPD      $0x5, Y0, Y1
+	VMULPD         Y3, Y1, Y1
+	VFMADDSUB231PD Y2, Y0, Y1
+	VMOVUPD        (DI), Y4
+	VADDPD         Y4, Y1, Y1
+	VMOVUPD        Y1, (DI)
+	ADDQ           $32, DI
+	ADDQ           $32, SI
+
+tail:
+	ANDQ $1, DX
+	JZ   done
+	VMOVUPD        (SI), X0
+	VPERMILPD      $0x1, X0, X1
+	VMULPD         X3, X1, X1
+	VFMADDSUB231PD X2, X0, X1
+	VMOVUPD        (DI), X4
+	VADDPD         X4, X1, X1
+	VMOVUPD        X1, (DI)
+
+done:
+	VZEROUPPER
+	RET
+
+// func scaleIntoAVX2(dst, src []complex128, c complex128)
+//
+// dst[i] = src[i]·c with exactly axpyIntoAVX2's fused product
+// expansion, minus the accumulate: the stored value is the (tr, ti)
+// AxpyInto would add. Requires FMA3.
+TEXT ·scaleIntoAVX2(SB), NOSPLIT, $0-64
 	MOVQ dst_base+0(FP), DI
 	MOVQ src_base+24(FP), SI
 	MOVQ dst_len+8(FP), DX
@@ -116,30 +184,24 @@ TEXT ·axpyIntoAVX2(SB), NOSPLIT, $0-64
 	JZ   tail
 
 loop:
-	VMOVUPD   (SI), Y0       // [sr0 si0 sr1 si1]
-	VPERMILPD $0x5, Y0, Y1   // [si0 sr0 si1 sr1]
-	VMULPD    Y2, Y0, Y0     // [sr·cr, si·cr, …]
-	VMULPD    Y3, Y1, Y1     // [si·ci, sr·ci, …]
-	VADDSUBPD Y1, Y0, Y0     // [sr·cr−si·ci, si·cr+sr·ci, …]
-	VMOVUPD   (DI), Y4
-	VADDPD    Y4, Y0, Y0
-	VMOVUPD   Y0, (DI)
-	ADDQ      $32, DI
-	ADDQ      $32, SI
-	DECQ      CX
-	JNZ       loop
+	VMOVUPD        (SI), Y0     // [sr0 si0 sr1 si1]
+	VPERMILPD      $0x5, Y0, Y1 // [si0 sr0 si1 sr1]
+	VMULPD         Y3, Y1, Y1   // [si·ci, sr·ci, …]
+	VFMADDSUB231PD Y2, Y0, Y1   // [sr·cr−si·ci, si·cr+sr·ci, …]
+	VMOVUPD        Y1, (DI)
+	ADDQ           $32, DI
+	ADDQ           $32, SI
+	DECQ           CX
+	JNZ            loop
 
 tail:
 	ANDQ $1, DX
 	JZ   done
-	VMOVUPD   (SI), X0
-	VPERMILPD $0x1, X0, X1
-	VMULPD    X2, X0, X0
-	VMULPD    X3, X1, X1
-	VADDSUBPD X1, X0, X0
-	VMOVUPD   (DI), X4
-	VADDPD    X4, X0, X0
-	VMOVUPD   X0, (DI)
+	VMOVUPD        (SI), X0
+	VPERMILPD      $0x1, X0, X1
+	VMULPD         X3, X1, X1
+	VFMADDSUB231PD X2, X0, X1
+	VMOVUPD        X1, (DI)
 
 done:
 	VZEROUPPER
@@ -315,50 +377,516 @@ loop:
 	VZEROUPPER
 	RET
 
-// func firstStageAVX2(or, oi, twr, twi []float64, v0r, v0i, v1r, v1i float64)
+// func synthChains8AVX2(dst []complex128, st *[32]float64, dLr, dLi, mag float64, steps int)
 //
-// The fused zero-pad broadcast stage over one 2z-chunk: with the
-// chunk's two prefix values (v0, v1) broadcast to all lanes,
+// Eight interleaved phase-recurrence chains in planar registers:
+// Y0/Y1 = zr, Y2/Y3 = zi, Y4/Y5 = dr, Y6/Y7 = di (chains 0-3 / 4-7).
+// Per step each chain emits complex(zr·mag, zi·mag) and advances
 //
-//	t       = w·v1
+//	z = z·d:  zr' = FMA(zr, dr, −zi·di), zi' = FMA(zr, di, zi·dr)
+//	d = d·dL: dr' = FMA(dr, dLr, −di·dLi), di' = FMA(dr, dLi, di·dLr)
+//
+// — exactly the math.FMA expressions of the scalar body, one rounding
+// per VFMSUB231PD/VFMADD231PD, so both paths are bit-identical. The
+// planar layout needs zero shuffles in the arithmetic; only the store
+// interleaves (unpack + 128-bit permute) the planar lanes into
+// complex128 pairs. No renormalization here — the driver renormalizes
+// the state between bounded-step calls.
+TEXT ·synthChains8AVX2(SB), NOSPLIT, $0-64
+	MOVQ dst_base+0(FP), DI
+	MOVQ st+24(FP), SI
+	VBROADCASTSD dLr+32(FP), Y8
+	VBROADCASTSD dLi+40(FP), Y9
+	VBROADCASTSD mag+48(FP), Y10
+	MOVQ steps+56(FP), CX
+	VMOVUPD 0(SI), Y0    // zr 0-3
+	VMOVUPD 32(SI), Y1   // zr 4-7
+	VMOVUPD 64(SI), Y2   // zi 0-3
+	VMOVUPD 96(SI), Y3   // zi 4-7
+	VMOVUPD 128(SI), Y4  // dr 0-3
+	VMOVUPD 160(SI), Y5  // dr 4-7
+	VMOVUPD 192(SI), Y6  // di 0-3
+	VMOVUPD 224(SI), Y7  // di 4-7
+
+loop:
+	// Emit chains 0-3: interleave (zr·mag, zi·mag) into dst[0:2].
+	VMULPD     Y10, Y0, Y11
+	VMULPD     Y10, Y2, Y12
+	VUNPCKLPD  Y12, Y11, Y13     // [r0 i0 r2 i2]
+	VUNPCKHPD  Y12, Y11, Y14     // [r1 i1 r3 i3]
+	VPERM2F128 $0x20, Y14, Y13, Y15
+	VMOVUPD    Y15, 0(DI)        // [r0 i0 r1 i1]
+	VPERM2F128 $0x31, Y14, Y13, Y15
+	VMOVUPD    Y15, 32(DI)       // [r2 i2 r3 i3]
+
+	// Emit chains 4-7 into dst[2:4].
+	VMULPD     Y10, Y1, Y11
+	VMULPD     Y10, Y3, Y12
+	VUNPCKLPD  Y12, Y11, Y13
+	VUNPCKHPD  Y12, Y11, Y14
+	VPERM2F128 $0x20, Y14, Y13, Y15
+	VMOVUPD    Y15, 64(DI)
+	VPERM2F128 $0x31, Y14, Y13, Y15
+	VMOVUPD    Y15, 96(DI)
+
+	// z ← z·d, chains 0-3.
+	VMULPD      Y6, Y2, Y11 // zi·di
+	VMULPD      Y4, Y2, Y12 // zi·dr
+	VFMSUB231PD Y4, Y0, Y11 // zr·dr − zi·di
+	VFMADD231PD Y6, Y0, Y12 // zr·di + zi·dr
+	VMOVAPD     Y11, Y0
+	VMOVAPD     Y12, Y2
+
+	// z ← z·d, chains 4-7.
+	VMULPD      Y7, Y3, Y11
+	VMULPD      Y5, Y3, Y12
+	VFMSUB231PD Y5, Y1, Y11
+	VFMADD231PD Y7, Y1, Y12
+	VMOVAPD     Y11, Y1
+	VMOVAPD     Y12, Y3
+
+	// d ← d·dL, chains 0-3.
+	VMULPD      Y9, Y6, Y11 // di·dLi
+	VMULPD      Y8, Y6, Y12 // di·dLr
+	VFMSUB231PD Y8, Y4, Y11 // dr·dLr − di·dLi
+	VFMADD231PD Y9, Y4, Y12 // dr·dLi + di·dLr
+	VMOVAPD     Y11, Y4
+	VMOVAPD     Y12, Y6
+
+	// d ← d·dL, chains 4-7.
+	VMULPD      Y9, Y7, Y11
+	VMULPD      Y8, Y7, Y12
+	VFMSUB231PD Y8, Y5, Y11
+	VFMADD231PD Y9, Y5, Y12
+	VMOVAPD     Y11, Y5
+	VMOVAPD     Y12, Y7
+
+	ADDQ $128, DI
+	DECQ CX
+	JNZ  loop
+
+	VMOVUPD Y0, 0(SI)
+	VMOVUPD Y1, 32(SI)
+	VMOVUPD Y2, 64(SI)
+	VMOVUPD Y3, 96(SI)
+	VMOVUPD Y4, 128(SI)
+	VMOVUPD Y5, 160(SI)
+	VMOVUPD Y6, 192(SI)
+	VMOVUPD Y7, 224(SI)
+	VZEROUPPER
+	RET
+
+// func maxPowerAVX2(re, im []float64) float64
+//
+// max(re[i]² + im[i]²) over the slices. Per-lane powers use the exact
+// scalar expression (two multiplies, one add, same order); VMAXPD of
+// non-negative, NaN-free values returns the same maximum value as the
+// scalar strictly-greater walk regardless of evaluation order, so the
+// result is bit-identical. Caller guarantees len >= 4 — one seed quad,
+// any further full quads, then a scalar tail — so the short ±2-bin
+// payload windows (5 elements) vectorize too.
+TEXT ·maxPowerAVX2(SB), NOSPLIT, $0-56
+	MOVQ re_base+0(FP), DI
+	MOVQ im_base+24(FP), SI
+	MOVQ re_len+8(FP), DX
+	VMOVUPD (DI), Y1
+	VMOVUPD (SI), Y2
+	VMULPD  Y1, Y1, Y1
+	VMULPD  Y2, Y2, Y2
+	VADDPD  Y2, Y1, Y0 // running 4-lane max
+	MOVQ    DX, CX
+	SHRQ    $2, CX     // total quads (>= 1)
+	MOVQ    $4, AX
+	DECQ    CX
+	JZ      reduce
+
+loop:
+	VMOVUPD (DI)(AX*8), Y1
+	VMOVUPD (SI)(AX*8), Y2
+	VMULPD  Y1, Y1, Y1
+	VMULPD  Y2, Y2, Y2
+	VADDPD  Y2, Y1, Y1
+	VMAXPD  Y1, Y0, Y0
+	ADDQ    $4, AX
+	DECQ    CX
+	JNZ     loop
+
+reduce:
+	// Horizontal reduce the 4 lanes.
+	VEXTRACTF128 $1, Y0, X1
+	VMAXPD       X1, X0, X0
+	VPERMILPD    $1, X0, X1
+	VMAXSD       X1, X0, X0
+
+	// Scalar tail: up to 3 leftover elements.
+	CMPQ AX, DX
+	JGE  done
+
+tail:
+	VMOVSD (DI)(AX*8), X1
+	VMOVSD (SI)(AX*8), X2
+	VMULSD X1, X1, X1
+	VMULSD X2, X2, X2
+	VADDSD X2, X1, X1
+	VMAXSD X1, X0, X0
+	INCQ   AX
+	CMPQ   AX, DX
+	JL     tail
+
+done:
+	VMOVSD X0, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func zigFillAVX2(dst []float64, wbuf []uint64, st *Stream, kTab *uint64, wTab *float64) int
+//
+// The fused xoshiro256++ generator and ziggurat fast path: per quad,
+// four uniform words are generated serially in integer registers (the
+// exact Stream.Uint64 recurrence), stored to wbuf, and pushed through
+// the four-lane acceptance test
+//
+//	i   = u & 127                  (layer index)
+//	j   = int64(u) >> 11           (signed 53-bit magnitude)
+//	mag = |j|
+//	accept iff mag < kTab[i];  value = float64(j) · wTab[i]
+//
+// The serial integer chain and the SIMD ziggurat work issue on
+// different ports, so generation is effectively free next to the
+// scalar two-pass fill. All four lane values are computed branchlessly
+// (layer and scale via VPGATHERQQ/VGATHERQPD, the int64→float64
+// conversion via the 2⁵² mantissa-or trick — exact because accepted
+// mags are < 2⁵², and zigK < 2⁵² means mag = 2⁵² always rejects) and
+// stored; the return value is the accepted prefix length. On a
+// rejection the generator state — already advanced through the full
+// quad — is written back, and the driver replays the rejecting word
+// and the quad's remaining lookahead words from wbuf in scalar code
+// (lanes stored beyond the prefix are overwritten there), keeping the
+// word-consumption order identical to sequential NormFloat64 calls.
+// Accepted values are one exact conversion and one VMULPD —
+// bit-identical to the scalar float64(j)·zigW[i]. Processes
+// min(len(dst), len(wbuf))/4 quads; sub-quad tails are the driver's.
+TEXT ·zigFillAVX2(SB), NOSPLIT, $0-80
+	MOVQ dst_base+0(FP), DI
+	MOVQ wbuf_base+24(FP), SI
+	MOVQ dst_len+8(FP), DX
+	MOVQ wbuf_len+32(FP), CX
+	CMPQ CX, DX
+	CMOVQLT CX, DX     // DX = min(len(dst), len(wbuf))
+	MOVQ kTab+56(FP), R8
+	MOVQ wTab+64(FP), R9
+
+	// Generator state in integer registers for the duration.
+	MOVQ st+48(FP), BX
+	MOVQ 0(BX), R10  // s0
+	MOVQ 8(BX), R11  // s1
+	MOVQ 16(BX), R12 // s2
+	MOVQ 24(BX), R13 // s3
+
+	MOVQ         $127, AX
+	VMOVQ        AX, X0
+	VPBROADCASTQ X0, Y8            // layer mask
+	MOVQ         $0x4330000000000000, AX
+	VMOVQ        AX, X0
+	VPBROADCASTQ X0, Y9            // 2^52 exponent pattern (int and double)
+	MOVQ         $0x8000000000000000, AX
+	VMOVQ        AX, X0
+	VPBROADCASTQ X0, Y10           // sign bit
+	VPXOR        Y11, Y11, Y11     // zero
+
+	XORQ AX, AX        // word/sample cursor
+	MOVQ DX, CX
+	SHRQ $2, CX        // quads
+	JZ   done
+
+loop:
+	// Four xoshiro256++ steps (exact Stream.Uint64 recurrence), packed
+	// into Y0 low-to-high and mirrored to wbuf for slow-path replay.
+	MOVQ    R10, R14
+	ADDQ    R13, R14
+	ROLQ    $23, R14
+	ADDQ    R10, R14    // res = rotl(s0+s3, 23) + s0
+	MOVQ    R11, R15
+	SHLQ    $17, R15    // t = s1 << 17
+	XORQ    R10, R12
+	XORQ    R11, R13
+	XORQ    R12, R11
+	XORQ    R13, R10
+	XORQ    R15, R12
+	ROLQ    $45, R13
+	VMOVQ   R14, X6
+
+	MOVQ    R10, R14
+	ADDQ    R13, R14
+	ROLQ    $23, R14
+	ADDQ    R10, R14
+	MOVQ    R11, R15
+	SHLQ    $17, R15
+	XORQ    R10, R12
+	XORQ    R11, R13
+	XORQ    R12, R11
+	XORQ    R13, R10
+	XORQ    R15, R12
+	ROLQ    $45, R13
+	VPINSRQ $1, R14, X6, X6
+
+	MOVQ    R10, R14
+	ADDQ    R13, R14
+	ROLQ    $23, R14
+	ADDQ    R10, R14
+	MOVQ    R11, R15
+	SHLQ    $17, R15
+	XORQ    R10, R12
+	XORQ    R11, R13
+	XORQ    R12, R11
+	XORQ    R13, R10
+	XORQ    R15, R12
+	ROLQ    $45, R13
+	VMOVQ   R14, X7
+
+	MOVQ    R10, R14
+	ADDQ    R13, R14
+	ROLQ    $23, R14
+	ADDQ    R10, R14
+	MOVQ    R11, R15
+	SHLQ    $17, R15
+	XORQ    R10, R12
+	XORQ    R11, R13
+	XORQ    R12, R11
+	XORQ    R13, R10
+	XORQ    R15, R12
+	ROLQ    $45, R13
+	VPINSRQ $1, R14, X7, X7
+
+	VINSERTI128 $1, X7, Y6, Y0 // u ×4
+	VMOVDQU     Y0, (SI)(AX*8)
+
+	// Layer indices and gathered thresholds.
+	VPAND      Y8, Y0, Y1          // i = u & 127
+	VPCMPEQD   Y13, Y13, Y13       // gather mask: all ones
+	VPGATHERQQ Y13, (R8)(Y1*8), Y2 // k = kTab[i]
+
+	// j = int64(u) >> 11 (arithmetic), via logical shift + sign fill.
+	VPCMPGTQ Y0, Y11, Y3 // s: all-ones where u < 0
+	VPSRLQ   $11, Y0, Y4
+	VPSLLQ   $53, Y3, Y5
+	VPOR     Y5, Y4, Y4  // j
+
+	// mag = (j ^ s) − s  (branch-free |j|; sign(j) == sign(u)).
+	VPXOR  Y3, Y4, Y5
+	VPSUBQ Y3, Y5, Y5 // mag
+
+	// Accept mask: mag < k. Both are < 2⁶³, so signed compare is exact.
+	VPCMPGTQ  Y5, Y2, Y6 // k > mag
+	VMOVMSKPD Y6, BX
+
+	// value = float64(j)·wTab[i]: exact int→double via the 2⁵² trick,
+	// sign applied by XOR, then one rounded multiply.
+	VPOR       Y9, Y5, Y7          // 2⁵² + mag as double bits
+	VSUBPD     Y9, Y7, Y7          // float64(mag)
+	VPAND      Y10, Y3, Y12
+	VXORPD     Y12, Y7, Y7         // float64(j)
+	VPCMPEQD   Y13, Y13, Y13
+	VGATHERQPD Y13, (R9)(Y1*8), Y14
+	VMULPD     Y14, Y7, Y7
+	VMOVUPD    Y7, (DI)(AX*8)
+
+	CMPQ BX, $0xf
+	JNE  reject
+	ADDQ $4, AX
+	DECQ CX
+	JNZ  loop
+	JMP  done
+
+reject:
+	// First rejecting lane: tzcnt of the complement.
+	NOTQ BX
+	ANDQ $0xf, BX
+	BSFQ BX, BX
+	ADDQ BX, AX
+
+done:
+	MOVQ st+48(FP), BX
+	MOVQ R10, 0(BX)
+	MOVQ R11, 8(BX)
+	MOVQ R12, 16(BX)
+	MOVQ R13, 24(BX)
+	MOVQ AX, ret+72(FP)
+	VZEROUPPER
+	RET
+
+
+// func firstStageBlockAVX2(re, im []float64, base, block int, twr, twi []float64)
+//
+// The fused zero-pad broadcast stage over one whole cache block: for
+// each 2z-chunk of [base, base+block), with the chunk's two prefix
+// values (v0, v1) = (x[pv], x[pv+1]) broadcast to all lanes,
+//
+//	t       = w·v1   (expanded as in fusedFirstStage)
 //	o[j]    = v0 + t
 //	o[z+j]  = v0 − t
 //
-// for j in [0, z), z = len(twr), a multiple of 4 (caller-guaranteed).
-TEXT ·firstStageAVX2(SB), NOSPLIT, $0-128
-	MOVQ or_base+0(FP), R8
-	MOVQ oi_base+24(FP), R9
-	MOVQ twr_base+48(FP), R10
-	MOVQ twi_base+72(FP), R11
-	MOVQ twr_len+56(FP), CX // z
-	LEAQ (R8)(CX*8), R12    // or upper half
-	LEAQ (R9)(CX*8), R13    // oi upper half
-	VBROADCASTSD v0r+96(FP), Y8
-	VBROADCASTSD v0i+104(FP), Y9
-	VBROADCASTSD v1r+112(FP), Y10
-	VBROADCASTSD v1i+120(FP), Y11
-	XORQ AX, AX
+// for j in [0, z), z = len(twr), a power of two >= 4 (caller-
+// guaranteed; block is a multiple of 2z). Chunks walk backwards
+// exactly like the scalar body, and each chunk's prefix values are
+// loaded into registers before any of its stores, so the chunk that
+// contains its own prefix entries is safe. Hoisting the chunk walk
+// into one call removes the per-chunk call overhead that dominated at
+// small z.
+TEXT ·firstStageBlockAVX2(SB), NOSPLIT, $0-112
+	MOVQ re_base+0(FP), DI
+	MOVQ im_base+24(FP), SI
+	MOVQ base+48(FP), R8
+	MOVQ block+56(FP), R9
+	MOVQ twr_base+64(FP), R10
+	MOVQ twi_base+88(FP), R11
+	MOVQ twr_len+72(FP), R12 // z
+
+	// Prefix pointers: pv of the last chunk is (base+block)/z − 2.
+	MOVQ R8, AX
+	ADDQ R9, AX
+	BSFQ R12, CX
+	SHRQ CX, AX          // (base+block)/z
+	SUBQ $2, AX
+	LEAQ (DI)(AX*8), R13 // &re[pv]
+	LEAQ (SI)(AX*8), R14 // &im[pv]
+
+	// Chunk countdown: block/(2z) chunks.
+	SHRQ CX, R9
+	SHRQ $1, R9
+
+	// Last chunk's planar pointers: lo at base+block−2z, hi = lo + z.
+	MOVQ R8, AX
+	ADDQ block+56(FP), AX
+	SUBQ R12, AX
+	SUBQ R12, AX
+	LEAQ (DI)(AX*8), DI   // re lo
+	LEAQ (SI)(AX*8), SI   // im lo
+	LEAQ (DI)(R12*8), BX  // re hi
+	LEAQ (SI)(R12*8), R15 // im hi
+	MOVQ R12, R8
+	SHLQ $4, R8           // chunk stride: 2z elements = 16z bytes
+
+chunk:
+	VBROADCASTSD (R13), Y8   // v0r
+	VBROADCASTSD 8(R13), Y10 // v1r
+	VBROADCASTSD (R14), Y9   // v0i
+	VBROADCASTSD 8(R14), Y11 // v1i
+	MOVQ         R12, CX
+	SHRQ         $2, CX      // z/4 quads
+	XORQ         AX, AX
+
+inner:
+	VMOVUPD     (R10)(AX*8), Y0 // wr
+	VMOVUPD     (R11)(AX*8), Y1 // wi
+	VMULPD      Y10, Y0, Y2     // wr·v1r
+	VMULPD      Y11, Y1, Y5     // wi·v1i
+	VSUBPD      Y5, Y2, Y2      // tr = wr·v1r − wi·v1i
+	VMULPD      Y11, Y0, Y3     // wr·v1i
+	VMULPD      Y10, Y1, Y5     // wi·v1r
+	VADDPD      Y5, Y3, Y3      // ti = wr·v1i + wi·v1r
+	VADDPD      Y2, Y8, Y4      // v0r + tr
+	VMOVUPD     Y4, (DI)(AX*8)
+	VADDPD      Y3, Y9, Y4      // v0i + ti
+	VMOVUPD     Y4, (SI)(AX*8)
+	VSUBPD      Y2, Y8, Y4      // v0r − tr
+	VMOVUPD     Y4, (BX)(AX*8)
+	VSUBPD      Y3, Y9, Y4      // v0i − ti
+	VMOVUPD     Y4, (R15)(AX*8)
+	ADDQ        $4, AX
+	DECQ        CX
+	JNZ         inner
+
+	SUBQ R8, DI
+	SUBQ R8, SI
+	SUBQ R8, BX
+	SUBQ R8, R15
+	SUBQ $16, R13
+	SUBQ $16, R14
+	DECQ R9
+	JNZ  chunk
+
+	VZEROUPPER
+	RET
+
+// func addScaledFloatsAVX2(dst []complex128, src []float64, s float64)
+//
+// dst[i] += complex(s·src[2i], s·src[2i+1]) — component-wise, so the
+// kernel is a scaled float64 add over 2·len(dst) doubles: one VMULPD
+// rounding for s·src and one VADDPD for the accumulate, exactly the
+// scalar body's unfused expression per element. Caller guarantees
+// len(dst) >= 2.
+TEXT ·addScaledFloatsAVX2(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ dst_len+8(FP), DX
+	VBROADCASTSD s+48(FP), Y2
+	MOVQ DX, CX
+	SHRQ $1, CX // 32-byte chunks of two complex
 
 loop:
-	VMOVUPD (R10)(AX*8), Y0 // wr
-	VMOVUPD (R11)(AX*8), Y1 // wi
-	VMULPD  Y10, Y0, Y2     // wr·v1r
-	VMULPD  Y11, Y1, Y3     // wi·v1i
-	VSUBPD  Y3, Y2, Y2      // tr
-	VMULPD  Y11, Y0, Y3     // wr·v1i
-	VMULPD  Y10, Y1, Y4     // wi·v1r
-	VADDPD  Y4, Y3, Y3      // ti
-	VADDPD  Y2, Y8, Y4      // v0r + tr
-	VMOVUPD Y4, (R8)(AX*8)
-	VADDPD  Y3, Y9, Y4      // v0i + ti
-	VMOVUPD Y4, (R9)(AX*8)
-	VSUBPD  Y2, Y8, Y4      // v0r − tr
-	VMOVUPD Y4, (R12)(AX*8)
-	VSUBPD  Y3, Y9, Y4      // v0i − ti
-	VMOVUPD Y4, (R13)(AX*8)
-	ADDQ    $4, AX
-	CMPQ    AX, CX
-	JL      loop
+	VMOVUPD (SI), Y0
+	VMULPD  Y2, Y0, Y0
+	VMOVUPD (DI), Y1
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     loop
+
+	ANDQ $1, DX
+	JZ   done
+	VMOVUPD (SI), X0
+	VMULPD  X2, X0, X0
+	VMOVUPD (DI), X1
+	VADDPD  X1, X0, X0
+	VMOVUPD X0, (DI)
+
+done:
+	VZEROUPPER
+	RET
+
+// func dechirpAVX2(re, im []float64, sym, down []complex128)
+//
+// Planar complex product re+i·im = sym·down, four elements per
+// iteration: unpack splits the interleaved inputs into real/imag
+// vectors in permuted lane order [0 2 1 3], the product runs the
+// scalar expressions lane-wise (unfused multiplies, same order), and
+// one VPERMPD per output restores element order before the planar
+// store. Caller guarantees len(sym) a positive multiple of 4.
+TEXT ·dechirpAVX2(SB), NOSPLIT, $0-96
+	MOVQ re_base+0(FP), DI
+	MOVQ im_base+24(FP), R8
+	MOVQ sym_base+48(FP), SI
+	MOVQ down_base+72(FP), DX
+	MOVQ sym_len+56(FP), CX
+	SHRQ $2, CX
+
+loop:
+	VMOVUPD   (SI), Y0      // [ar0 ai0 ar1 ai1]
+	VMOVUPD   32(SI), Y1    // [ar2 ai2 ar3 ai3]
+	VMOVUPD   (DX), Y2      // [br0 bi0 br1 bi1]
+	VMOVUPD   32(DX), Y3    // [br2 bi2 br3 bi3]
+	VUNPCKLPD Y1, Y0, Y4    // ar, order [0 2 1 3]
+	VUNPCKHPD Y1, Y0, Y5    // ai
+	VUNPCKLPD Y3, Y2, Y6    // br
+	VUNPCKHPD Y3, Y2, Y7    // bi
+	VMULPD    Y6, Y4, Y8    // ar·br
+	VMULPD    Y7, Y5, Y9    // ai·bi
+	VSUBPD    Y9, Y8, Y8    // re = ar·br − ai·bi
+	VMULPD    Y7, Y4, Y9    // ar·bi
+	VMULPD    Y6, Y5, Y10   // ai·br
+	VADDPD    Y10, Y9, Y9   // im = ar·bi + ai·br
+	VPERMPD   $0xd8, Y8, Y8 // restore [0 1 2 3]
+	VPERMPD   $0xd8, Y9, Y9
+	VMOVUPD   Y8, (DI)
+	VMOVUPD   Y9, (R8)
+	ADDQ      $64, SI
+	ADDQ      $64, DX
+	ADDQ      $32, DI
+	ADDQ      $32, R8
+	DECQ      CX
+	JNZ       loop
 
 	VZEROUPPER
 	RET

@@ -17,6 +17,10 @@ func axpyIntoAVX2(dst, src []complex128, c complex128) {
 	panic("dsp: AVX2 kernel called without AVX2 support")
 }
 
+func scaleIntoAVX2(dst, src []complex128, c complex128) {
+	panic("dsp: AVX2 kernel called without AVX2 support")
+}
+
 func stageAVX2(are, aim, bre, bim, twr, twi []float64) {
 	panic("dsp: AVX2 kernel called without AVX2 support")
 }
@@ -25,6 +29,26 @@ func stagePairAVX2(re, im []float64, start, h int, w1r, w1i, w2r, w2i []float64)
 	panic("dsp: AVX2 kernel called without AVX2 support")
 }
 
-func firstStageAVX2(or, oi, twr, twi []float64, v0r, v0i, v1r, v1i float64) {
+func firstStageBlockAVX2(re, im []float64, base, block int, twr, twi []float64) {
+	panic("dsp: AVX2 kernel called without AVX2 support")
+}
+
+func addScaledFloatsAVX2(dst []complex128, src []float64, s float64) {
+	panic("dsp: AVX2 kernel called without AVX2 support")
+}
+
+func dechirpAVX2(re, im []float64, sym, down []complex128) {
+	panic("dsp: AVX2 kernel called without AVX2 support")
+}
+
+func synthChains8AVX2(dst []complex128, st *[32]float64, dLr, dLi, mag float64, steps int) {
+	panic("dsp: AVX2 kernel called without AVX2 support")
+}
+
+func maxPowerAVX2(re, im []float64) float64 {
+	panic("dsp: AVX2 kernel called without AVX2 support")
+}
+
+func zigFillAVX2(dst []float64, wbuf []uint64, st *Stream, kTab *uint64, wTab *float64) int {
 	panic("dsp: AVX2 kernel called without AVX2 support")
 }

@@ -4,13 +4,14 @@ import (
 	"testing"
 )
 
-// forceScalar turns the vector kernels off for the duration of a test
-// body and restores the detected setting afterwards.
+// forceScalar turns the vector kernels off — both the AVX2 and the
+// FMA-gated dispatches — for the duration of a test body and restores
+// the detected settings afterwards.
 func forceScalar(t *testing.T) {
 	t.Helper()
-	prev := simdAVX2
-	simdAVX2 = false
-	t.Cleanup(func() { simdAVX2 = prev })
+	prevAVX2, prevFMA := simdAVX2, simdFMA
+	simdAVX2, simdFMA = false, false
+	t.Cleanup(func() { simdAVX2, simdFMA = prevAVX2, prevFMA })
 }
 
 func randComplexSlice(rng *Rand, n int) []complex128 {
@@ -127,10 +128,10 @@ func TestBatchPlanSIMDMatchesScalarBitExact(t *testing.T) {
 		wantRe := append([]float64(nil), re...)
 		wantIm := append([]float64(nil), im...)
 
-		prev := simdAVX2
-		simdAVX2 = false
+		prevAVX2, prevFMA := simdAVX2, simdFMA
+		simdAVX2, simdFMA = false, false
 		bp.Forward(wantRe, wantIm)
-		simdAVX2 = prev
+		simdAVX2, simdFMA = prevAVX2, prevFMA
 
 		bp.Forward(re, im)
 		for i := range re {

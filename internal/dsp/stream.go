@@ -164,6 +164,41 @@ func (st *Stream) NormFloat64() float64 {
 // path: the base-layer tail or a wedge rejection test, redrawing until
 // acceptance.
 func (st *Stream) normSlow(u uint64) float64 {
+	src := zigSource{st: st}
+	return normSlowSrc(u, &src)
+}
+
+// zigSource supplies the slow path's uniform words: buffered lookahead
+// words first (words the batch driver generated but the vector kernel
+// did not consume), then the live stream. The buffer is always a
+// prefix of the stream's own future output — it was filled by
+// advancing the real state — so draining it and falling through to
+// Uint64 reproduces the exact word sequence sequential NormFloat64
+// calls would see.
+type zigSource struct {
+	st  *Stream
+	buf []uint64
+	pos int
+}
+
+func (s *zigSource) next() uint64 {
+	if s.pos < len(s.buf) {
+		u := s.buf[s.pos]
+		s.pos++
+		return u
+	}
+	return s.st.Uint64()
+}
+
+// float64 and float64Open mirror Stream.Float64/float64Open word for
+// word and expression for expression, so slow-path draws through a
+// buffered source are bit-identical to the struct methods.
+func (s *zigSource) float64() float64     { return float64(s.next()>>11) * 0x1p-53 }
+func (s *zigSource) float64Open() float64 { return (float64(s.next()>>11) + 0.5) * 0x1p-53 }
+
+// normSlowSrc is normSlow over an arbitrary word source — the one
+// implementation both the sequential and the batch path use.
+func normSlowSrc(u uint64, src *zigSource) float64 {
 	for {
 		i, j, mag := zigSplit(u)
 		x := float64(j) * zigW[i]
@@ -175,8 +210,8 @@ func (st *Stream) normSlow(u uint64) float64 {
 			// Base-layer tail beyond R (Marsaglia's exact method).
 			var tail float64
 			for {
-				tail = -math.Log(st.float64Open()) / zigR
-				y := -math.Log(st.float64Open())
+				tail = -math.Log(src.float64Open()) / zigR
+				y := -math.Log(src.float64Open())
 				if y+y >= tail*tail {
 					break
 				}
@@ -187,11 +222,11 @@ func (st *Stream) normSlow(u uint64) float64 {
 			return zigR + tail
 		default:
 			// Wedge between layer i and the density curve.
-			if zigF[i]+st.Float64()*(zigF[i-1]-zigF[i]) < math.Exp(-0.5*x*x) {
+			if zigF[i]+src.float64()*(zigF[i-1]-zigF[i]) < math.Exp(-0.5*x*x) {
 				return x
 			}
 		}
-		u = st.Uint64()
+		u = src.next()
 	}
 }
 
@@ -214,12 +249,69 @@ func (st *Stream) UniformPhase() complex128 {
 	return complex(math.Cos(theta), math.Sin(theta))
 }
 
+// zigBlock is the block depth of the vectorized NormBatch driver: how
+// many samples (and so at most how many lookahead uniform words) one
+// kernel call covers. Each output sample consumes at least one word,
+// so a block of min(zigBlock, samples remaining) words can never
+// overrun the sequential draw order — every generated word is
+// consumed before the destination fills.
+const zigBlock = 512
+
 // NormBatch fills dst with standard normal draws — the same sequence
 // len(dst) successive NormFloat64 calls would produce (test-enforced),
 // with the generator and ziggurat fast path inlined into one planar
-// fill loop. This is the batch primitive the fused AWGN path is built
-// on.
+// fill loop. On AVX2 the whole fast path runs in one fused kernel
+// (zigFillAVX2): xoshiro word generation in integer registers
+// overlapped with the four-lane acceptance test, conversion and scale
+// multiply. Rejections and sub-quad tails fall back to the scalar
+// expressions, replaying the kernel's already-generated words from
+// its side buffer so the word-consumption order — and therefore every
+// output bit — matches the sequential path exactly. This is the batch
+// primitive the fused AWGN path is built on.
 func (st *Stream) NormBatch(dst []float64) {
+	if !simdAVX2 || len(dst) < 8 {
+		st.normBatchScalar(dst)
+		return
+	}
+	var buf [zigBlock]uint64
+	idx := 0
+	for idx < len(dst) {
+		quads := min(zigBlock, len(dst)-idx) >> 2
+		if quads == 0 {
+			// Fewer than four samples left: finish sequentially.
+			for ; idx < len(dst); idx++ {
+				dst[idx] = st.NormFloat64()
+			}
+			return
+		}
+		c := zigFillAVX2(dst[idx:idx+quads*4], buf[:quads*4], st, &zigK[0], &zigW[0])
+		idx += c
+		if c == quads*4 {
+			continue
+		}
+		// The kernel stopped on a rejection at generated word c, with
+		// the generator state advanced through that word's whole quad.
+		// Replay the rejecting word and the quad's remaining lookahead
+		// words in scalar code; slow-path redraws drain the lookahead
+		// first and then fall through to the live stream, which is
+		// positioned exactly where the sequential order demands.
+		src := zigSource{st: st, buf: buf[:c&^3+4], pos: c}
+		for src.pos < len(src.buf) {
+			u := src.next()
+			i, j, mag := zigSplit(u)
+			if mag < zigK[i] {
+				dst[idx] = float64(j) * zigW[i]
+			} else {
+				dst[idx] = normSlowSrc(u, &src)
+			}
+			idx++
+		}
+	}
+}
+
+// normBatchScalar is the portable NormBatch body: generator and
+// ziggurat fast path inlined into one fill loop.
+func (st *Stream) normBatchScalar(dst []float64) {
 	s0, s1, s2, s3 := st.s0, st.s1, st.s2, st.s3
 	for idx := range dst {
 		res := rotl64(s0+s3, 23) + s0

@@ -26,9 +26,7 @@ func AddAWGN(st *dsp.Stream, sig []complex128, noisePower float64) {
 	for base := 0; base < len(sig); base += noiseBlock {
 		blk := sig[base:min(base+noiseBlock, len(sig))]
 		st.NormBatch(buf[: 2*len(blk) : 2*len(blk)])
-		for i := range blk {
-			blk[i] += complex(s*buf[2*i], s*buf[2*i+1])
-		}
+		dsp.AddScaledFloats(blk, buf[:2*len(blk)], s)
 	}
 }
 

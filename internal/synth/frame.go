@@ -359,15 +359,16 @@ func symRot(omega float64, deltaSamples int) complex128 {
 	return cis(omega * float64(deltaSamples))
 }
 
-// scaledCopy writes dst[i] = src[i]·c.
+// scaledCopy writes dst[i] = src[i]·c through dsp.ScaleInto, whose
+// fused expansion is bit-identical to dsp.AxpyInto over a zero
+// accumulator — the materialize/accumulate equality the frame-path
+// oracles pin.
 func scaledCopy(dst, src []complex128, c complex128) {
 	if c == 1 {
 		copy(dst, src)
 		return
 	}
-	for i, v := range src {
-		dst[i] = v * c
-	}
+	dsp.ScaleInto(dst[:len(src)], src, c)
 }
 
 // fillFromTemplate fills every symbol slot of body from the up-chirp

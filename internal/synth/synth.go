@@ -37,6 +37,7 @@ import (
 	"sync"
 
 	"netscatter/internal/chirp"
+	"netscatter/internal/dsp"
 )
 
 // renormEvery is the renormalization cadence of the recurrence loops:
@@ -63,6 +64,11 @@ type Synthesizer struct {
 	// φ(u) = a·u² + b·u for the baseline chirp (shift folds into u at
 	// critical sampling and into b in aggregate mode).
 	a, b float64
+
+	// ddzUp, ddzDown cache the recurrence's second difference
+	// e^{j2a}/e^{-j2a} — constant per parameter set, so MixedInto
+	// spends its trigonometry on the per-call seeds only.
+	ddzUp, ddzDown complex128
 }
 
 var (
@@ -111,6 +117,8 @@ func build(p chirp.Params) *Synthesizer {
 		s.a = math.Pi * slope / (fs * fs)
 		s.b = -math.Pi * p.BW / fs
 	}
+	s.ddzUp = cis(2 * s.a)
+	s.ddzDown = cis(2 * -s.a)
 	return s
 }
 
@@ -210,7 +218,10 @@ func (s *Synthesizer) MixedInto(dst []complex128, shift int, x0 float64, conj bo
 	}
 	n := float64(s.n)
 	a, b := sign*s.a, sign*s.b
-	ddz := cis(2 * a)
+	ddz := s.ddzUp
+	if conj {
+		ddz = s.ddzDown
+	}
 	if s.p.Oversample > 1 {
 		// Aggregate mode: shift is an initial-frequency offset folded
 		// into the linear phase term; the phase is a single unwrapped
@@ -239,46 +250,153 @@ func (s *Synthesizer) MixedInto(dst []complex128, shift int, x0 float64, conj bo
 	s.run(dst, z, dz, ddz, mag, int(math.Ceil(n-u0)), wrapRot)
 }
 
+// chainMinSeg is the shortest segment the interleaved-chain path
+// accepts: below it the chain seeding (a stride's worth of serial
+// steps plus the step-ratio powers) costs more than it saves, so short
+// segments run the plain serial recurrence. The threshold is a pure
+// function of the segment length — never of the CPU — so output bits
+// are identical on every platform.
+const chainMinSeg = 3 * dsp.SynthChainCount
+
 // run iterates the second-order recurrence dst[i] = mag·z_i with
-// z_{i+1} = z_i·dz_i and dz_{i+1} = dz_i·ddz, renormalizing z and dz
-// every renormEvery samples. When toWrap > 0, z is multiplied by
-// wrapRot after every s.n-sample period starting toWrap samples in (the
-// critical-sampling cyclic wrap); toWrap <= 0 disables wrapping
-// (aggregate mode). z must be unit magnitude — the emission scale mag
-// keeps renormalization a pure unit-circle projection.
+// z_{i+1} = z_i·dz_i and dz_{i+1} = dz_i·ddz. When toWrap > 0, z is
+// multiplied by wrapRot after every s.n-sample period starting toWrap
+// samples in (the critical-sampling cyclic wrap); toWrap <= 0 disables
+// wrapping (aggregate mode). z must be unit magnitude — the emission
+// scale mag keeps renormalization a pure unit-circle projection.
+//
+// The wrap events split dst into wrap-free segments; each segment runs
+// through runSeg's interleaved sub-chains (see below), and the serial
+// state is renormalized at every segment boundary.
 func (s *Synthesizer) run(dst []complex128, z, dz, ddz complex128, mag float64, toWrap int, wrapRot complex128) {
-	scale := complex(mag, 0)
-	wrapAt := -1
-	if toWrap > 0 {
-		wrapAt = toWrap
+	if toWrap <= 0 {
+		s.runSeg(dst, z, dz, ddz, mag)
+		return
 	}
-	if mag == 1 {
-		for i := range dst {
-			if i == wrapAt {
-				z *= wrapRot
-				wrapAt += s.n
-			}
-			dst[i] = z
-			z *= dz
-			dz *= ddz
+	for {
+		segLen := min(toWrap, len(dst))
+		z, dz = s.runSeg(dst[:segLen], z, dz, ddz, mag)
+		dst = dst[segLen:]
+		if len(dst) == 0 {
+			return
+		}
+		z = renorm(mulFMA(z, wrapRot))
+		dz = renorm(dz)
+		toWrap = s.n
+	}
+}
+
+// runSeg emits one wrap-free segment of the recurrence into dst and
+// returns the serial state (z, dz) continued past the segment's end.
+//
+// Long segments run dsp.SynthChainCount = L interleaved sub-chains:
+// sub-chain c owns samples c, c+L, c+2L, … . With the quadratic phase
+// ψ(u) = ψ(0) + δ·u + a·u² (δ the linear term at the segment start),
+// sub-chain c's per-step factor is
+//
+//	dzc_c = e^{j(ψ(c+L)−ψ(c))} = e^{j(δL + aL² + 2aLc)} = dzc_0·(ddz^L)^c
+//
+// and every sub-chain shares the second difference ddz^{L²} = (ddz^L)^L
+// — so the seeding needs no trigonometry: the chain start values
+// z(0…L−1) and dzc_0 = ∏ dz·ddz^k come from L serial recurrence steps,
+// and the ratio ddz^L from log₂L squarings. The L chains are mutually
+// independent, which turns the two dependent complex multiplies per
+// sample into throughput-bound work for the FMA pipeline
+// (dsp.SynthChains8). Per-chain renormalization runs every renormEvery
+// chain steps, and the continued state is renormalized by run at each
+// segment boundary; DESIGN-synth.md carries the error budget.
+func (s *Synthesizer) runSeg(dst []complex128, z, dz, ddz complex128, mag float64) (complex128, complex128) {
+	m := len(dst)
+	if m < chainMinSeg {
+		for i := 0; i < m; i++ {
+			dst[i] = complex(real(z)*mag, imag(z)*mag)
+			z = mulFMA(z, dz)
+			dz = mulFMA(dz, ddz)
 			if i%renormEvery == renormEvery-1 {
 				z = renorm(z)
 				dz = renorm(dz)
 			}
 		}
-		return
+		return z, dz
 	}
-	for i := range dst {
-		if i == wrapAt {
-			z *= wrapRot
-			wrapAt += s.n
+
+	const L = dsp.SynthChainCount
+	var st dsp.SynthChainState
+	zc, d := z, dz
+	p := complex(1.0, 0)
+	for c := 0; c < L; c++ {
+		st[c] = real(zc)
+		st[L+c] = imag(zc)
+		zc = mulFMA(zc, d)
+		p = mulFMA(p, d)
+		d = mulFMA(d, ddz)
+	}
+	ratio := powFMA(ddz, L) // ddz^L
+	dL := powFMA(ratio, L)  // ddz^{L²}: the shared chain second difference
+	for c := 0; c < L; c++ {
+		st[2*L+c] = real(p)
+		st[3*L+c] = imag(p)
+		p = mulFMA(p, ratio)
+	}
+
+	steps := m / L
+	rem := m - steps*L
+	done := 0
+	for done < steps {
+		blk := min(renormEvery, steps-done)
+		dsp.SynthChains8(dst[done*L:], &st, dL, mag, blk)
+		done += blk
+		if blk == renormEvery {
+			renormChains(&st)
 		}
-		dst[i] = z * scale
-		z *= dz
-		dz *= ddz
-		if i%renormEvery == renormEvery-1 {
-			z = renorm(z)
-			dz = renorm(dz)
+	}
+	for c := 0; c < rem; c++ {
+		dst[steps*L+c] = complex(st[c]*mag, st[L+c]*mag)
+	}
+	// Continuation: after `steps` chain steps, sub-chain c holds
+	// z(steps·L + c), so z(m) is chain rem's state; dz(m) advances the
+	// second-order factor m steps, dz·ddz^m.
+	zNext := complex(st[rem], st[L+rem])
+	dzNext := mulFMA(dz, powFMA(ddz, m))
+	return zNext, dzNext
+}
+
+// mulFMA is the complex product with fused inner terms:
+// re = FMA(ar, br, −ai·bi), im = FMA(ar, bi, ai·br) — one rounding
+// fewer per component than the plain expansion, deterministic on every
+// platform (math.FMA), and exactly the operation dsp's FMA kernels
+// perform per lane.
+func mulFMA(a, b complex128) complex128 {
+	ar, ai := real(a), imag(a)
+	br, bi := real(b), imag(b)
+	return complex(math.FMA(ar, br, -(ai*bi)), math.FMA(ar, bi, ai*br))
+}
+
+// powFMA returns v^k (k >= 0) by binary exponentiation over mulFMA —
+// O(log k) multiplies, deterministic bits on every platform.
+func powFMA(v complex128, k int) complex128 {
+	r := complex(1.0, 0)
+	for k > 0 {
+		if k&1 != 0 {
+			r = mulFMA(r, v)
 		}
+		v = mulFMA(v, v)
+		k >>= 1
+	}
+	return r
+}
+
+// renormChains pulls every sub-chain's z and d back onto the unit
+// circle with the same Newton step renorm applies, in the fused form
+// m² = FMA(re, re, im·im) the chain kernels' error analysis assumes.
+func renormChains(st *dsp.SynthChainState) {
+	const L = dsp.SynthChainCount
+	for c := 0; c < L; c++ {
+		zr, zi := st[c], st[L+c]
+		sc := 1.5 - 0.5*math.FMA(zr, zr, zi*zi)
+		st[c], st[L+c] = zr*sc, zi*sc
+		dr, di := st[2*L+c], st[3*L+c]
+		sc = 1.5 - 0.5*math.FMA(dr, dr, di*di)
+		st[2*L+c], st[3*L+c] = dr*sc, di*sc
 	}
 }

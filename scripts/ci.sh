@@ -20,6 +20,12 @@ fi
 
 echo "== go vet =="
 go vet ./...
+# Explicit assembly-declaration gate: the dsp package's AVX2 kernels
+# must keep their Go prototypes, frame sizes and argument offsets in
+# sync with the .s bodies (a mismatch is silent corruption, not a build
+# error). Plain `go vet` includes asmdecl, but the dedicated pass keeps
+# the gate visible and scoped even if the default analyzer set changes.
+go vet -asmdecl ./internal/dsp
 
 echo "== staticcheck =="
 if command -v staticcheck >/dev/null 2>&1; then
@@ -38,7 +44,8 @@ go test -count=1 -shuffle=on ./...
 
 echo "== fuzz seed corpus =="
 # Runs every Fuzz* target over its committed seeds (no exploration):
-# synthesizer phase continuity, cyclic-shift identity, decoder
+# synthesizer phase continuity, interleaved-chain stride continuity
+# (chain path vs serial recurrence), cyclic-shift identity, decoder
 # round-trip, and the cross-AP aggregator's never-drop/never-double
 # invariants.
 go test -count=1 -run 'Fuzz' ./internal/synth ./internal/core ./internal/sim
@@ -54,8 +61,11 @@ echo "== race: concurrent paths =="
 # full-adversity GOMAXPROCS sweep), the soft cross-AP combining path
 # (emit arenas filled by pool workers, serial bin-wise sum, its own
 # GOMAXPROCS sweep) and the stream/noise kernels, all under the race
-# detector.
-go test -race -count=1 -run 'Concurrent|Parallel|Race|Mixed|Tiled|Stream|MultiAP|MultiChannel|Trajectory|Churn|Dropout|Soft|Emit|Fair|Accumulator' ./internal/sim ./internal/core ./internal/air ./internal/pool ./internal/dsp ./internal/radio
+# detector. The MatchesScalar|ZeroAlloc|SIMDMatches names pull in the
+# per-kernel scalar-vs-vector bit-exactness gates (axpy/scale, fused
+# noise add, dechirp, window-power scan, interleaved synthesis chains,
+# ziggurat batch fill) so the vector dispatch seams also run raced.
+go test -race -count=1 -run 'Concurrent|Parallel|Race|Mixed|Tiled|Stream|MultiAP|MultiChannel|Trajectory|Churn|Dropout|Soft|Emit|Fair|Accumulator|MatchesScalar|ZeroAlloc|SIMDMatches' ./internal/sim ./internal/core ./internal/air ./internal/pool ./internal/dsp ./internal/radio
 
 echo "== serve: race + short soak =="
 # The multi-tenant service under the race detector (endpoints, stream
