@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"os"
 	"sort"
@@ -24,6 +25,25 @@ import (
 
 	"netscatter/internal/serve"
 )
+
+// pctIndex returns the nearest-rank index for percentile p over a
+// sorted sample of n values: ceil(p·n)−1, clamped to the valid range.
+// Returns -1 for an empty sample. Truncating p·n instead (the old
+// formula) picked the larger of 2 samples as the p50 and biased every
+// small-sample percentile one rank high.
+func pctIndex(n int, p float64) int {
+	if n <= 0 {
+		return -1
+	}
+	i := int(math.Ceil(p*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
 
 func main() {
 	var (
@@ -114,10 +134,10 @@ func main() {
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	pct := func(p float64) time.Duration {
-		if len(latencies) == 0 {
+		i := pctIndex(len(latencies), p)
+		if i < 0 {
 			return 0
 		}
-		i := min(len(latencies)-1, int(p*float64(len(latencies))))
 		return latencies[i]
 	}
 	summary := map[string]any{

@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestPctIndex(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		want int
+	}{
+		{0, 0.50, -1}, // empty sample: no index
+		{0, 0.99, -1},
+		{1, 0.50, 0}, // single sample is every percentile
+		{1, 0.99, 0},
+		{1, 1.00, 0},
+		{2, 0.50, 0}, // p50 of two samples is the smaller one
+		{2, 0.99, 1},
+		{2, 1.00, 1},
+		{3, 0.50, 1}, // the median of three
+		{4, 0.50, 1},
+		{100, 0.50, 49},
+		{100, 0.99, 98}, // nearest-rank p99: the 99th of 100
+		{100, 1.00, 99},
+		{10, 0.0, 0}, // p0 clamps to the minimum
+	}
+	for _, c := range cases {
+		if got := pctIndex(c.n, c.p); got != c.want {
+			t.Errorf("pctIndex(%d, %v) = %d, want %d", c.n, c.p, got, c.want)
+		}
+	}
+}
+
+// TestPctIndexBounds sweeps p across the unit interval at several
+// sample sizes: the index must stay in range and be monotone in p.
+func TestPctIndexBounds(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 100, 1001} {
+		prev := 0
+		for p := 0.0; p <= 1.0; p += 0.001 {
+			i := pctIndex(n, p)
+			if i < 0 || i >= n {
+				t.Fatalf("pctIndex(%d, %v) = %d out of range", n, p, i)
+			}
+			if i < prev {
+				t.Fatalf("pctIndex(%d, %v) = %d not monotone (prev %d)", n, p, i, prev)
+			}
+			prev = i
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"netscatter/internal/sim"
+)
+
+// CellResult pairs one grid cell with its accumulated snapshot.
+type CellResult struct {
+	Cell
+	Snapshot sim.Snapshot `json:"snapshot"`
+}
+
+// Artifact is the merged campaign output: every cell's snapshot in
+// grid order plus the grid-wide aggregate. It is a pure function of
+// the spec — no timestamps, no host state, results sorted by cell
+// index, totals folded in index order — so two runs of the same spec
+// produce byte-identical artifacts regardless of worker count,
+// execution order, or interruption/resume.
+type Artifact struct {
+	Campaign string       `json:"campaign"`
+	SpecSHA  string       `json:"spec_sha256"`
+	Spec     *Spec        `json:"spec"`
+	Results  []CellResult `json:"results"`
+	Totals   sim.Snapshot `json:"totals"`
+}
+
+// assemble merges completed cells into the artifact. Every cell must
+// be present.
+func assemble(spec *Spec, cells []Cell, done map[int]sim.Snapshot) (*Artifact, error) {
+	a := &Artifact{
+		Campaign: spec.Name,
+		SpecSHA:  spec.Digest(),
+		Spec:     spec,
+		Results:  make([]CellResult, 0, len(cells)),
+	}
+	for _, c := range cells {
+		snap, ok := done[c.Index]
+		if !ok {
+			return nil, fmt.Errorf("campaign: cell %d missing from results", c.Index)
+		}
+		a.Results = append(a.Results, CellResult{Cell: c, Snapshot: snap})
+		a.Totals.Merge(snap)
+	}
+	return a, nil
+}
+
+// Encode renders the artifact's canonical byte form.
+func (a *Artifact) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the canonical form to path atomically (temp file +
+// rename), so a crash mid-write never leaves a torn artifact behind.
+func (a *Artifact) WriteFile(path string) error {
+	data, err := a.Encode()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

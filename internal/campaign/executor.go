@@ -1,0 +1,66 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"netscatter/internal/serve"
+	"netscatter/internal/sim"
+)
+
+// Executor runs one cell's rounds and returns the accumulated
+// snapshot. Implementations must be deterministic functions of the
+// config — the runner relies on a cell producing the same snapshot no
+// matter which worker runs it, in what order, or on which attempt.
+type Executor interface {
+	RunCell(ctx context.Context, c Cell) (sim.Snapshot, error)
+}
+
+// LocalExecutor runs cells in-process through serve.RunLocal — the
+// hosted tenant's exact construction and round path, without the HTTP
+// surface.
+type LocalExecutor struct{}
+
+// RunCell implements Executor.
+func (LocalExecutor) RunCell(ctx context.Context, c Cell) (sim.Snapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return sim.Snapshot{}, err
+	}
+	return serve.RunLocal(c.Config, c.Rounds)
+}
+
+// RemoteExecutor runs cells against a live netscatter-serve instance:
+// create the deployment, enqueue the cell's rounds (chunked under the
+// service backlog bound), wait for them to drain, snapshot, tear down.
+// Because a hosted tenant steps the same code RunLocal does, a remote
+// campaign's artifact is byte-identical to the local one.
+type RemoteExecutor struct {
+	Client *serve.Client
+	// Poll is the stats poll interval while waiting for rounds to
+	// drain (default 20ms).
+	Poll time.Duration
+}
+
+// RunCell implements Executor.
+func (e *RemoteExecutor) RunCell(ctx context.Context, c Cell) (sim.Snapshot, error) {
+	id, err := e.Client.CreateDeployment(ctx, c.Config)
+	if err != nil {
+		return sim.Snapshot{}, fmt.Errorf("campaign: cell %d create: %w", c.Index, err)
+	}
+	defer func() {
+		// Best-effort teardown, detached from the (possibly canceled)
+		// cell context so an interrupted campaign still cleans up.
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = e.Client.DeleteDeployment(dctx, id)
+	}()
+	if err := e.Client.StepAll(ctx, id, c.Rounds, e.Poll); err != nil {
+		return sim.Snapshot{}, fmt.Errorf("campaign: cell %d step: %w", c.Index, err)
+	}
+	st, err := e.Client.WaitRounds(ctx, id, c.Rounds, e.Poll)
+	if err != nil {
+		return sim.Snapshot{}, fmt.Errorf("campaign: cell %d wait: %w", c.Index, err)
+	}
+	return st.Stats, nil
+}

@@ -1,0 +1,131 @@
+package campaign
+
+import (
+	"context"
+	"sync"
+
+	"netscatter/internal/pool"
+	"netscatter/internal/sim"
+)
+
+// Runner executes a campaign: expand the grid, skip cells the
+// checkpoint already holds, shard the rest across workers, journal
+// each completion, and merge everything into the artifact. Because a
+// cell's result is a pure function of the spec and its index, the
+// runner needs no cross-worker coordination beyond the work queue —
+// any worker may run any cell in any order and the merged artifact
+// comes out identical.
+type Runner struct {
+	Spec *Spec
+	// Exec runs cells (default LocalExecutor).
+	Exec Executor
+	// Workers is the shard width (default pool.Size()).
+	Workers int
+	// CheckpointPath, when set, journals completed cells there and
+	// resumes from whatever the journal already holds.
+	CheckpointPath string
+	// Progress, when set, is called after each cell completes with the
+	// completed count (including resumed cells), the grid size, and
+	// the cell. Called from worker goroutines, possibly concurrently.
+	Progress func(done, total int, c Cell)
+}
+
+// Run executes the campaign to completion and returns the merged
+// artifact. On error (or context cancellation) the checkpoint retains
+// every completed cell, so the same Run call picks up where it
+// stopped.
+func (r *Runner) Run(ctx context.Context) (*Artifact, error) {
+	cells, err := r.Spec.Cells()
+	if err != nil {
+		return nil, err
+	}
+	exec := r.Exec
+	if exec == nil {
+		exec = LocalExecutor{}
+	}
+	workers := r.Workers
+	if workers < 1 {
+		workers = pool.Size()
+	}
+
+	done := make(map[int]sim.Snapshot)
+	var ck *checkpoint
+	if r.CheckpointPath != "" {
+		ck, done, err = openCheckpoint(r.CheckpointPath, r.Spec, len(cells))
+		if err != nil {
+			return nil, err
+		}
+		defer ck.close()
+	}
+
+	pending := make([]Cell, 0, len(cells))
+	for _, c := range cells {
+		if _, ok := done[c.Index]; !ok {
+			pending = append(pending, c)
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+	jobs := make(chan Cell)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				snap, err := exec.RunCell(runCtx, c)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				mu.Lock()
+				done[c.Index] = snap
+				var ckErr error
+				if ck != nil {
+					ckErr = ck.record(c.Index, snap)
+				}
+				n := len(done)
+				mu.Unlock()
+				if ckErr != nil {
+					fail(ckErr)
+					continue
+				}
+				if r.Progress != nil {
+					r.Progress(n, len(cells), c)
+				}
+			}
+		}()
+	}
+feed:
+	for _, c := range pending {
+		select {
+		case jobs <- c:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return assemble(r.Spec, cells, done)
+}

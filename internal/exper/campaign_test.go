@@ -1,0 +1,90 @@
+package exper
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"netscatter/internal/campaign"
+	"netscatter/internal/serve"
+)
+
+// TestCampaignCoversM1Grid: the declarative spec must expand to
+// exactly the (k, n) grid the hard-coded M1 sweep iterates.
+func TestCampaignCoversM1Grid(t *testing.T) {
+	spec := MultiAPSpec(1, false)
+	cells, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type point struct{ k, n int }
+	got := map[point]bool{}
+	for _, c := range cells {
+		got[point{c.APs, c.Devices}] = true
+	}
+	for _, k := range []int{1, 2, 4} {
+		for _, n := range []int{16, 64, 128, 192} {
+			if !got[point{k, n}] {
+				t.Errorf("campaign grid missing M1 point k=%d n=%d", k, n)
+			}
+		}
+	}
+	if len(cells) != 12 {
+		t.Errorf("grid has %d cells, want 12", len(cells))
+	}
+}
+
+// TestCampaignExperimentShape runs the G1 experiment (quick) and
+// checks one row per grid cell with sane PER values.
+func TestCampaignExperimentShape(t *testing.T) {
+	res := runByID(t, "G1")
+	tab := res.Tables[0]
+	if want := 6; len(tab.Rows) != want { // quick: 2 device counts × 3 AP counts
+		t.Fatalf("G1 quick produced %d rows, want %d", len(tab.Rows), want)
+	}
+	for r := range tab.Rows {
+		per := cell(t, tab, r, 3)
+		if per < 0 || per > 1 {
+			t.Errorf("row %d PER %v out of range", r, per)
+		}
+	}
+}
+
+// TestCampaignM1ServeMatchesLocal is the acceptance gate for the
+// remote path: the M1 grid as a campaign spec, run in-process and
+// against a live netscatter-serve instance, must merge to
+// byte-identical artifacts.
+func TestCampaignM1ServeMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full M1 grid against a live service; skipped in -short")
+	}
+	spec := MultiAPSpec(1, true)
+	local, err := (&campaign.Runner{Spec: spec}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	localBytes, err := local.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := serve.New(serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	exec := &campaign.RemoteExecutor{Client: &serve.Client{BaseURL: ts.URL, HTTPClient: ts.Client()}}
+	remote, err := (&campaign.Runner{Spec: spec, Workers: 3, Exec: exec}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteBytes, err := remote.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(localBytes, remoteBytes) {
+		t.Fatal("M1 campaign artifact differs between in-process and netscatter-serve execution")
+	}
+}

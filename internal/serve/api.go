@@ -227,7 +227,11 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, "deployment %d is closed", t.id)
 		return
 	}
-	if t.pending+req.Rounds > s.cfg.MaxPending {
+	// Compare against the headroom rather than summing: pending and
+	// MaxPending are both small non-negatives, so MaxPending-pending
+	// cannot overflow, whereas pending+req.Rounds wraps negative for a
+	// huge request and would slip past the bound.
+	if req.Rounds > s.cfg.MaxPending-t.pending {
 		pending := t.pending
 		t.mu.Unlock()
 		s.writeError(w, http.StatusTooManyRequests,

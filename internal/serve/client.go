@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 )
 
 // ErrThrottled reports a 429: the per-tenant round backlog or the
@@ -136,6 +137,61 @@ func (c *Client) Stats(ctx context.Context, id int64) (StatsResponse, error) {
 	var out StatsResponse
 	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/deployments/%d/stats", id), nil, &out)
 	return out, err
+}
+
+// StepAll enqueues exactly rounds rounds, splitting the request into
+// backlog-sized chunks and backing off on 429s until everything is
+// accepted (rounds may exceed the service's per-tenant backlog bound).
+// Returns as soon as the last chunk is accepted; the rounds still
+// drain asynchronously — pair with WaitRounds for completion.
+func (c *Client) StepAll(ctx context.Context, id int64, rounds int, poll time.Duration) error {
+	if poll <= 0 {
+		poll = 20 * time.Millisecond
+	}
+	for queued := 0; queued < rounds; {
+		chunk := min(rounds-queued, stepChunk)
+		_, err := c.Step(ctx, id, chunk)
+		switch {
+		case errors.Is(err, ErrThrottled):
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(poll):
+			}
+		case err != nil:
+			return err
+		default:
+			queued += chunk
+		}
+	}
+	return nil
+}
+
+// stepChunk bounds one StepAll request so a large campaign cell's
+// round count never trips the service's default backlog limit in a
+// single request.
+const stepChunk = 256
+
+// WaitRounds polls stats until the deployment has accumulated at least
+// n rounds, and returns that snapshot.
+func (c *Client) WaitRounds(ctx context.Context, id int64, n int, poll time.Duration) (StatsResponse, error) {
+	if poll <= 0 {
+		poll = 20 * time.Millisecond
+	}
+	for {
+		st, err := c.Stats(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.Stats.Rounds >= n {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
 }
 
 // Metrics snapshots the process-wide counters.

@@ -314,6 +314,12 @@ func (s *Server) turn(t *tenant) {
 			s.metrics.roundErrors.Add(1)
 			break
 		}
+		// A completed round supersedes any recorded failure: clear the
+		// sticky error so long-lived listings report recovery instead of
+		// the last incident forever.
+		t.mu.Lock()
+		t.lastErr = ""
+		t.mu.Unlock()
 		soft := t.net.SoftCombining()
 		t.acc.AddMulti(stats, soft)
 		s.metrics.rounds.Add(1)

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestStepRoundsOverflow pins the backlog bound against integer
+// overflow: a huge rounds value used to wrap t.pending+req.Rounds
+// negative, slip past MaxPending, and leave the tenant with an absurd
+// pending count. It must be throttled like any other over-budget
+// request, with the backlog untouched.
+func TestStepRoundsOverflow(t *testing.T) {
+	_, c := newTestServer(t, Config{MaxPending: 8})
+	ctx := context.Background()
+	id, err := c.CreateDeployment(ctx, smallCfg(1))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	for _, rounds := range []int{1 << 62, 1<<63 - 1, 9} {
+		if _, err := c.Step(ctx, id, rounds); !errors.Is(err, ErrThrottled) {
+			t.Errorf("step rounds=%d: got %v, want ErrThrottled", rounds, err)
+		}
+	}
+	info, err := c.Detail(ctx, id)
+	if err != nil {
+		t.Fatalf("detail: %v", err)
+	}
+	if info.Pending != 0 {
+		t.Errorf("pending = %d after rejected oversize steps, want 0", info.Pending)
+	}
+
+	// The bound itself still admits a full backlog.
+	if _, err := c.Step(ctx, id, 8); err != nil {
+		t.Errorf("step rounds=MaxPending: %v", err)
+	}
+}
+
+// TestLastErrClearsOnRecovery pins the sticky-error fix: once a round
+// completes, a previously recorded error must stop appearing in
+// listings — a recovered tenant should not report its last incident
+// forever.
+func TestLastErrClearsOnRecovery(t *testing.T) {
+	s, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	id, err := c.CreateDeployment(ctx, smallCfg(1))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	tn := s.reg.get(id)
+	tn.mu.Lock()
+	tn.lastErr = "injected: round failed"
+	tn.mu.Unlock()
+
+	info, err := c.Detail(ctx, id)
+	if err != nil {
+		t.Fatalf("detail: %v", err)
+	}
+	if info.LastError == "" {
+		t.Fatal("injected last_error not visible before recovery")
+	}
+
+	if _, err := c.Step(ctx, id, 1); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	waitRounds(t, c, id, 1)
+
+	info, err = c.Detail(ctx, id)
+	if err != nil {
+		t.Fatalf("detail: %v", err)
+	}
+	if info.LastError != "" {
+		t.Errorf("last_error = %q after a successful round, want cleared", info.LastError)
+	}
+}

@@ -44,6 +44,25 @@ type Snapshot struct {
 	GoodputBps float64 `json:"goodput_bps"`
 }
 
+// Merge folds another snapshot's counters into s and refreshes the
+// derived rates. Snapshots are mergeable by design — every counter is
+// a plain sum over rounds — which is what lets a campaign merge
+// per-cell snapshots into one grid-wide aggregate.
+func (s *Snapshot) Merge(o Snapshot) {
+	s.Rounds += o.Rounds
+	s.AllLostRounds += o.AllLostRounds
+	s.Devices += o.Devices
+	s.Detected += o.Detected
+	s.FramesOK += o.FramesOK
+	s.BitErrors += o.BitErrors
+	s.TotalBits += o.TotalBits
+	s.ScheduledBits += o.ScheduledBits
+	s.SimSeconds += o.SimSeconds
+	s.SoftFramesOK += o.SoftFramesOK
+	s.SoftRounds += o.SoftRounds
+	s.derive()
+}
+
 // derive fills the rate fields from the counters.
 func (s *Snapshot) derive() {
 	s.PER, s.BER, s.GoodputBps = 0, 0, 0

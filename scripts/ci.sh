@@ -67,6 +67,15 @@ echo "== race: concurrent paths =="
 # ziggurat batch fill) so the vector dispatch seams also run raced.
 go test -race -count=1 -run 'Concurrent|Parallel|Race|Mixed|Tiled|Stream|MultiAP|MultiChannel|Trajectory|Churn|Dropout|Soft|Emit|Fair|Accumulator|MatchesScalar|ZeroAlloc|SIMDMatches' ./internal/sim ./internal/core ./internal/air ./internal/pool ./internal/dsp ./internal/radio
 
+echo "== campaign: unit + resume + race =="
+# The declarative campaign runner: spec expansion, shard-order
+# independence (artifacts byte-identical at any worker count), the
+# kill/resume gate (truncated checkpoint resumes to a byte-identical
+# artifact), and the remote (netscatter-serve) executor equivalence —
+# all again under the race detector, which exercises the sharded
+# worker pool and the checkpoint journal serialization.
+go test -race -count=1 ./internal/campaign
+
 echo "== serve: race + short soak =="
 # The multi-tenant service under the race detector (endpoints, stream
 # fan-out, fair scheduling), plus the reduced-fleet soak: steady round
@@ -83,5 +92,10 @@ go test -count=1 -run 'TestRoutesDocumented' ./internal/serve
 # Link check: every relative markdown link in the top-level and docs/
 # references must resolve to a real file.
 scripts/linkcheck.sh
+# Campaign smoke: the worked spec example documented in docs/API.md
+# must load and expand, and a short-mode campaign pass (grid run,
+# checkpoint resume) must stay green.
+go run ./cmd/netscatter-campaign -spec examples/campaign/office.json -expand >/dev/null
+go test -count=1 -short -run 'TestShardOrderIndependence|TestResume' ./internal/campaign
 
 echo "ci.sh: all green"
